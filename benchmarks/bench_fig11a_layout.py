@@ -1,0 +1,47 @@
+"""Figure 11a — sensitivity to the data layout.
+
+Paper reference (4 clients, TPC-H Q12): with everything in one group the two
+systems perform alike; as clients spread over more groups (2-per-group,
+1-per-group, incremental) vanilla degrades progressively while Skipper stays
+within a narrow band, providing a 2-3x improvement.
+"""
+
+import pytest
+
+from repro.harness import experiments, format_table
+
+
+@pytest.mark.benchmark(group="fig11a")
+def test_figure11a_layout_sensitivity(benchmark, bench_once):
+    result = bench_once(benchmark, experiments.figure11a_layout_sensitivity, num_clients=4)
+    layouts = list(result["postgresql"])
+    rows = [
+        [
+            layout,
+            round(result["postgresql"][layout], 1),
+            round(result["skipper"][layout], 1),
+            round(result["postgresql"][layout] / result["skipper"][layout], 2),
+        ]
+        for layout in layouts
+    ]
+    print()
+    print(
+        format_table(
+            ["layout", "PostgreSQL (s)", "Skipper (s)", "improvement"],
+            rows,
+            title="Figure 11a: sensitivity to the data layout (4 clients, Q12)",
+        )
+    )
+    vanilla = result["postgresql"]
+    skipper = result["skipper"]
+    # Vanilla degrades as clients fan out across groups.
+    assert vanilla["1-per-group"] > vanilla["2-per-group"] > vanilla["all-in-one"]
+    # Skipper improves over vanilla on every multi-group layout (2-3x in the paper).
+    for layout in ("2-per-group", "1-per-group", "incremental"):
+        assert skipper[layout] < vanilla[layout]
+        assert vanilla[layout] / skipper[layout] > 1.5
+    # Fanning out from two clients per group to one client per group leaves
+    # Skipper essentially unaffected (the paper's "low sensitivity" claim).
+    assert skipper["1-per-group"] <= skipper["2-per-group"] * 1.1
+    # Both systems behave alike when everything sits in a single group.
+    assert skipper["all-in-one"] == pytest.approx(vanilla["all-in-one"], rel=0.25)

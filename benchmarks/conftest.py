@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper by calling the
+corresponding function in :mod:`repro.harness.experiments` exactly once
+(``benchmark.pedantic`` with one round — the experiments are deterministic,
+so repeated rounds would only waste time) and printing the series the paper
+plots.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the printed tables; EXPERIMENTS.md records the reference output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def bench_once():
+    """Fixture exposing :func:`run_once`."""
+    return run_once

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) cannot run.  Keeping a
+classic ``setup.py`` lets ``pip install -e . --no-build-isolation`` fall back
+to the legacy ``setup.py develop`` code path, which works offline.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""Skipper: cold-storage-aware query execution.
+
+A reproduction of *"Cheap Data Analytics using Cold Storage Devices"*
+(Borovica-Gajic, Appuswamy, Ailamaki -- VLDB 2016).
+
+The package is organised as follows:
+
+* :mod:`repro.sim` -- discrete-event simulation kernel (simulated time).
+* :mod:`repro.engine` -- a small relational engine: schemas, segmented
+  relations, predicates, operators, a left-deep planner and a cost model.
+* :mod:`repro.csd` -- the Cold Storage Device substrate: object store, disk
+  groups, layout policies, I/O schedulers and the device emulator.
+* :mod:`repro.core` -- Skipper itself: subplan tracking, the bounded object
+  cache with the maximal-progress eviction policy, the cache-aware MJoin
+  state manager, the client proxy and the Skipper executor.
+* :mod:`repro.vanilla` -- the pull-based baseline ("PostgreSQL on CSD").
+* :mod:`repro.cluster` -- multi-client experiments and metrics.
+* :mod:`repro.workloads` -- TPC-H, SSB, analytics-benchmark and NREF-like
+  synthetic workloads.
+* :mod:`repro.tiering` -- the storage-tiering cost analysis.
+* :mod:`repro.harness` -- one function per table/figure of the paper.
+
+Quickstart::
+
+    from repro.harness import experiments
+
+    results = experiments.figure7_skipper_scaling(client_counts=(1, 3, 5), scale="small")
+    print(results)
+"""
+
+from repro.exceptions import (
+    CacheError,
+    CatalogError,
+    ConfigurationError,
+    ExecutionError,
+    LayoutError,
+    PlanningError,
+    QueryError,
+    ReproError,
+    SchedulingError,
+    SchemaError,
+    SimulationError,
+    StorageError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheError",
+    "CatalogError",
+    "ConfigurationError",
+    "ExecutionError",
+    "LayoutError",
+    "PlanningError",
+    "QueryError",
+    "ReproError",
+    "SchedulingError",
+    "SchemaError",
+    "SimulationError",
+    "StorageError",
+    "__version__",
+]

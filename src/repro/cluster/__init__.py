@@ -1,0 +1,34 @@
+"""Multi-client experiment harness.
+
+The paper's testbed runs one database VM per compute server, all sharing a
+single emulated CSD.  This package wires the same topology together over the
+simulator: a set of :class:`~repro.cluster.client.DatabaseClient` processes
+(each running either the Skipper executor or the vanilla pull-based executor
+over its own tenant dataset), one shared
+:class:`~repro.csd.device.ColdStorageDevice`, and the metrics needed to
+reproduce the figures: average/cumulative execution time, the
+switch/transfer/processing breakdown, stretch and the L2 norm of stretch.
+"""
+
+from repro.cluster.client import ClientSpec, DatabaseClient
+from repro.cluster.cluster import Cluster, ClusterConfig, ClusterResult
+from repro.cluster.metrics import (
+    ExecutionBreakdown,
+    attribute_waiting,
+    l2_norm,
+    max_stretch,
+    stretches,
+)
+
+__all__ = [
+    "ClientSpec",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterResult",
+    "DatabaseClient",
+    "ExecutionBreakdown",
+    "attribute_waiting",
+    "l2_norm",
+    "max_stretch",
+    "stretches",
+]

@@ -1,0 +1,190 @@
+"""Cluster assembly and execution.
+
+A :class:`Cluster` wires together everything one experiment needs — an object
+store loaded with every tenant's segments, a disk-group layout, an I/O
+scheduler, the shared CSD, and one database client per tenant — runs the
+simulation to completion and exposes the measurements the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.client import ClientSpec, DatabaseClient, QueryResult
+from repro.cluster.metrics import ExecutionBreakdown, attribute_waiting, mean
+from repro.csd.device import ColdStorageDevice, DeviceConfig
+from repro.csd.layout import ClientsPerGroupLayout, LayoutPolicy
+from repro.csd.object_store import ObjectStore
+from repro.csd.scheduler import IOScheduler, RankBasedScheduler
+from repro.engine.catalog import Catalog
+from repro.engine.cost import CostModel
+from repro.exceptions import ConfigurationError
+from repro.sim import Environment
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of one multi-client experiment."""
+
+    client_specs: Sequence[ClientSpec]
+    layout_policy: LayoutPolicy = field(default_factory=ClientsPerGroupLayout)
+    device_config: DeviceConfig = field(default_factory=DeviceConfig)
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if not self.client_specs:
+            raise ConfigurationError("a cluster needs at least one client")
+        names = [spec.client_id for spec in self.client_specs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("client identifiers must be unique")
+
+
+@dataclass
+class ClusterResult:
+    """Everything measured during one cluster run."""
+
+    config: ClusterConfig
+    results_by_client: Dict[str, List[QueryResult]]
+    breakdowns_by_client: Dict[str, List[ExecutionBreakdown]]
+    device_switches: int
+    device_objects_served: int
+    total_simulated_time: float
+
+    # ------------------------------------------------------------------ #
+    # Aggregates used by the figures
+    # ------------------------------------------------------------------ #
+    def client_ids(self) -> List[str]:
+        """Identifiers of all clients in the experiment."""
+        return list(self.results_by_client)
+
+    def execution_times(self, client_id: Optional[str] = None) -> List[float]:
+        """Per-query execution times for one client or for all clients."""
+        if client_id is not None:
+            return [result.execution_time for result in self.results_by_client[client_id]]
+        times: List[float] = []
+        for results in self.results_by_client.values():
+            times.extend(result.execution_time for result in results)
+        return times
+
+    def average_execution_time(self) -> float:
+        """Mean query execution time across all clients and repetitions."""
+        return mean(self.execution_times())
+
+    def cumulative_execution_time(self) -> float:
+        """Sum of all query execution times (Figure 8 / Figure 12b metric)."""
+        return sum(self.execution_times())
+
+    def per_client_totals(self) -> Dict[str, float]:
+        """Total execution time per client."""
+        return {
+            client_id: sum(result.execution_time for result in results)
+            for client_id, results in self.results_by_client.items()
+        }
+
+    def total_get_requests(self) -> int:
+        """Total number of GET requests issued across the cluster."""
+        return sum(
+            result.num_requests
+            for results in self.results_by_client.values()
+            for result in results
+        )
+
+    def average_breakdown(self) -> ExecutionBreakdown:
+        """Average switch/transfer/processing breakdown across all queries."""
+        breakdowns = [
+            breakdown
+            for per_client in self.breakdowns_by_client.values()
+            for breakdown in per_client
+        ]
+        if not breakdowns:
+            return ExecutionBreakdown(0.0, 0.0, 0.0, 0.0)
+        count = len(breakdowns)
+        return ExecutionBreakdown(
+            processing=sum(b.processing for b in breakdowns) / count,
+            switch_wait=sum(b.switch_wait for b in breakdowns) / count,
+            transfer_wait=sum(b.transfer_wait for b in breakdowns) / count,
+            other_wait=sum(b.other_wait for b in breakdowns) / count,
+        )
+
+
+class Cluster:
+    """Builds and runs one multi-client experiment."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: ClusterConfig,
+        scheduler: Optional[IOScheduler] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config
+        self.env = Environment()
+        self.object_store = ObjectStore()
+        self.scheduler = scheduler or RankBasedScheduler()
+
+        client_objects: Dict[str, List[str]] = {}
+        for spec in config.client_specs:
+            keys: List[str] = []
+            for table in self._tables_used_by(spec):
+                relation = catalog.relation(table)
+                keys.extend(
+                    self.object_store.put_segment(spec.client_id, segment.segment_id, segment)
+                    for segment in relation.segments
+                )
+            client_objects[spec.client_id] = keys
+
+        self.layout = config.layout_policy.build(client_objects)
+        self.device = ColdStorageDevice(
+            env=self.env,
+            object_store=self.object_store,
+            layout=self.layout,
+            scheduler=self.scheduler,
+            config=config.device_config,
+        )
+        self.clients = [
+            DatabaseClient(
+                env=self.env,
+                spec=spec,
+                catalog=catalog,
+                device=self.device,
+                cost_model=config.cost_model,
+            )
+            for spec in config.client_specs
+        ]
+
+    @staticmethod
+    def _tables_used_by(spec: ClientSpec) -> List[str]:
+        """Tables referenced by any query of one client (stable order)."""
+        tables: List[str] = []
+        for query in spec.queries:
+            for table in query.tables:
+                if table not in tables:
+                    tables.append(table)
+        return tables
+
+    def run(self) -> ClusterResult:
+        """Run every client to completion and collect the measurements."""
+        self.env.run(self.env.all_of([client.process for client in self.clients]))
+
+        results_by_client = {client.client_id: list(client.results) for client in self.clients}
+        breakdowns_by_client: Dict[str, List[ExecutionBreakdown]] = {}
+        for client in self.clients:
+            breakdowns = [
+                attribute_waiting(
+                    result.blocked_intervals,
+                    self.device.busy_intervals,
+                    processing_time=result.processing_time,
+                )
+                for result in client.results
+            ]
+            breakdowns_by_client[client.client_id] = breakdowns
+
+        return ClusterResult(
+            config=self.config,
+            results_by_client=results_by_client,
+            breakdowns_by_client=breakdowns_by_client,
+            device_switches=self.device.stats.group_switches,
+            device_objects_served=self.device.stats.objects_served,
+            total_simulated_time=self.env.now,
+        )

@@ -1,0 +1,118 @@
+"""Metrics used across the paper's evaluation.
+
+* :func:`attribute_waiting` splits a client's blocked time into group-switch
+  wait and data-transfer wait by intersecting the client's blocked intervals
+  with the device's busy intervals (Figure 9 / Table 3).
+* :func:`stretches`, :func:`l2_norm` and :func:`max_stretch` implement the
+  scheduling-theory metrics of Section 5.2.5 (Figure 12): the stretch of a
+  query is its observed execution time divided by its ideal (single-client)
+  execution time, and the L2 norm aggregates stretches across clients.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.csd.device import BusyInterval
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class ExecutionBreakdown:
+    """Decomposition of one query's execution time (seconds)."""
+
+    processing: float
+    switch_wait: float
+    transfer_wait: float
+    other_wait: float
+
+    @property
+    def total(self) -> float:
+        """Total accounted execution time."""
+        return self.processing + self.switch_wait + self.transfer_wait + self.other_wait
+
+    def fractions(self) -> dict:
+        """Each component as a fraction of the total (empty total → zeros)."""
+        total = self.total
+        if total <= 0:
+            return {"processing": 0.0, "switch": 0.0, "transfer": 0.0, "other": 0.0}
+        return {
+            "processing": self.processing / total,
+            "switch": self.switch_wait / total,
+            "transfer": self.transfer_wait / total,
+            "other": self.other_wait / total,
+        }
+
+
+def _overlap(a_start: float, a_end: float, b_start: float, b_end: float) -> float:
+    """Length of the intersection of two closed intervals."""
+    return max(0.0, min(a_end, b_end) - max(a_start, b_start))
+
+
+def attribute_waiting(
+    blocked_intervals: Sequence[Tuple[float, float]],
+    busy_intervals: Sequence[BusyInterval],
+    processing_time: float = 0.0,
+) -> ExecutionBreakdown:
+    """Attribute a client's blocked time to device switches vs. transfers.
+
+    Any part of a blocked interval during which the device was performing a
+    group switch counts as switch wait; any part during which it was
+    transferring an object (for any tenant) counts as transfer wait; whatever
+    is left (device idle, queueing artefacts) is reported as ``other_wait``.
+    """
+    switch_wait = 0.0
+    transfer_wait = 0.0
+    total_blocked = 0.0
+    relevant = [
+        interval for interval in busy_intervals if interval.end > 0 and interval.duration > 0
+    ]
+    for start, end in blocked_intervals:
+        if end < start:
+            raise ConfigurationError("blocked interval ends before it starts")
+        total_blocked += end - start
+        for busy in relevant:
+            overlap = _overlap(start, end, busy.start, busy.end)
+            if overlap <= 0:
+                continue
+            if busy.kind == "switch":
+                switch_wait += overlap
+            else:
+                transfer_wait += overlap
+    other = max(0.0, total_blocked - switch_wait - transfer_wait)
+    return ExecutionBreakdown(
+        processing=processing_time,
+        switch_wait=switch_wait,
+        transfer_wait=transfer_wait,
+        other_wait=other,
+    )
+
+
+def stretches(observed_times: Iterable[float], ideal_time: float) -> List[float]:
+    """Per-query stretch values: observed execution time / ideal time."""
+    if ideal_time <= 0:
+        raise ConfigurationError("ideal execution time must be positive")
+    return [observed / ideal_time for observed in observed_times]
+
+
+def l2_norm(values: Iterable[float]) -> float:
+    """The L2 norm (root of the sum of squares) of a collection of stretches."""
+    return math.sqrt(sum(value * value for value in values))
+
+
+def max_stretch(values: Iterable[float]) -> float:
+    """The maximum stretch of a workload (worst-served query)."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("max_stretch requires at least one value")
+    return max(values)
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty collection)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

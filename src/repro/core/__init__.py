@@ -1,0 +1,56 @@
+"""Skipper: the paper's CSD-driven query execution framework.
+
+This package contains the paper's primary contribution:
+
+* :mod:`repro.core.subplan` — subplan enumeration and tracking.  A *subplan*
+  is one segment of every joined relation; executing all subplans of a query
+  is equivalent to executing the query (Table 2 in the paper).
+* :mod:`repro.core.cache` — the bounded object cache and its eviction
+  policies, including the paper's *maximal progress* policy and the
+  *maximal pending subplans* policy it improves upon, plus LRU/FIFO
+  baselines used for ablations.
+* :mod:`repro.core.njoin` — the stateless n-ary join operator that probes the
+  cached segments of one subplan and emits result tuples.
+* :mod:`repro.core.mjoin` — the cache-aware MJoin *state manager*
+  (Algorithm 1): it reacts to out-of-order object arrivals, triggers
+  evictions and re-issues, executes runnable subplans and folds their output
+  into an incremental aggregate.
+* :mod:`repro.core.client_proxy` — the daemon that mediates between MJoin and
+  the CSD, batching object requests and tagging them with query identifiers.
+* :mod:`repro.core.executor` — the simulation-facing Skipper executor that
+  drives the state manager over simulated time and produces per-query
+  metrics.
+"""
+
+from repro.core.subplan import Subplan, SubplanTracker
+from repro.core.cache import (
+    CachedObject,
+    EvictionPolicy,
+    FIFOEviction,
+    LRUEviction,
+    MaxPendingSubplansEviction,
+    MaxProgressEviction,
+    ObjectCache,
+)
+from repro.core.njoin import NAryJoin
+from repro.core.mjoin import ArrivalOutcome, MJoinStateManager
+from repro.core.client_proxy import ClientProxy
+from repro.core.executor import SkipperExecutor, SkipperQueryResult
+
+__all__ = [
+    "ArrivalOutcome",
+    "CachedObject",
+    "ClientProxy",
+    "EvictionPolicy",
+    "FIFOEviction",
+    "LRUEviction",
+    "MJoinStateManager",
+    "MaxPendingSubplansEviction",
+    "MaxProgressEviction",
+    "NAryJoin",
+    "ObjectCache",
+    "SkipperExecutor",
+    "SkipperQueryResult",
+    "Subplan",
+    "SubplanTracker",
+]

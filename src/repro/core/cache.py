@@ -1,0 +1,196 @@
+"""Skipper's bounded object cache and eviction policies.
+
+The MJoin state manager buffers fetched objects (relation segments) in a
+cache whose capacity is expressed in objects — the paper's cache sizes in GB
+map one-to-one because each object is a 1 GB segment.  When the cache is full
+and a new object arrives, an :class:`EvictionPolicy` picks the victim.
+
+Policies:
+
+* :class:`MaxProgressEviction` — the paper's final design: evict the object
+  participating in the fewest subplans that would become executable given
+  the current cache contents and the new arrival; break ties by the number
+  of pending subplans.
+* :class:`MaxPendingSubplansEviction` — the paper's first attempt: evict the
+  object participating in the fewest *pending* subplans.
+* :class:`LRUEviction`, :class:`FIFOEviction` — classic baselines used in the
+  ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.subplan import SubplanTracker
+from repro.exceptions import CacheError
+
+
+@dataclass
+class CachedObject:
+    """A cached segment plus the bookkeeping the policies rely on."""
+
+    segment_id: str
+    payload: object
+    inserted_at: int
+    last_used: int
+    #: Number of filtered rows buffered for this object (for diagnostics).
+    num_rows: int = 0
+
+
+class EvictionPolicy:
+    """Strategy interface for choosing an eviction victim."""
+
+    name = "base"
+
+    def choose_victim(
+        self,
+        cache: "ObjectCache",
+        new_object: str,
+        tracker: SubplanTracker,
+    ) -> str:
+        """Return the segment id of the object to evict."""
+        raise NotImplementedError
+
+
+class MaxProgressEviction(EvictionPolicy):
+    """Evict the object enabling the least immediate progress (paper default)."""
+
+    name = "max-progress"
+
+    def choose_victim(self, cache: "ObjectCache", new_object: str, tracker: SubplanTracker) -> str:
+        cached_ids = cache.segment_ids()
+        executable = tracker.executable_counts(cached_ids, new_object)
+        return min(
+            sorted(cached_ids),
+            key=lambda segment_id: (
+                executable.get(segment_id, 0),
+                tracker.pending_count_for(segment_id),
+                segment_id,
+            ),
+        )
+
+
+class MaxPendingSubplansEviction(EvictionPolicy):
+    """Evict the object participating in the fewest pending subplans."""
+
+    name = "max-pending-subplans"
+
+    def choose_victim(self, cache: "ObjectCache", new_object: str, tracker: SubplanTracker) -> str:
+        cached_ids = cache.segment_ids()
+        return min(
+            sorted(cached_ids),
+            key=lambda segment_id: (tracker.pending_count_for(segment_id), segment_id),
+        )
+
+
+class LRUEviction(EvictionPolicy):
+    """Evict the least recently used object."""
+
+    name = "lru"
+
+    def choose_victim(self, cache: "ObjectCache", new_object: str, tracker: SubplanTracker) -> str:
+        return min(
+            cache.objects(),
+            key=lambda cached: (cached.last_used, cached.segment_id),
+        ).segment_id
+
+
+class FIFOEviction(EvictionPolicy):
+    """Evict the object that has been cached the longest."""
+
+    name = "fifo"
+
+    def choose_victim(self, cache: "ObjectCache", new_object: str, tracker: SubplanTracker) -> str:
+        return min(
+            cache.objects(),
+            key=lambda cached: (cached.inserted_at, cached.segment_id),
+        ).segment_id
+
+
+class ObjectCache:
+    """Bounded cache of relation segments keyed by segment id."""
+
+    def __init__(self, capacity: int, policy: Optional[EvictionPolicy] = None) -> None:
+        if capacity <= 0:
+            raise CacheError("cache capacity must be at least one object")
+        self.capacity = capacity
+        self.policy = policy or MaxProgressEviction()
+        self._contents: Dict[str, CachedObject] = {}
+        self._clock = itertools.count()
+        #: Counters for diagnostics and the cache-size experiments.
+        self.num_insertions = 0
+        self.num_evictions = 0
+        self.num_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._contents)
+
+    def __contains__(self, segment_id: object) -> bool:
+        return isinstance(segment_id, str) and segment_id in self._contents
+
+    @property
+    def is_full(self) -> bool:
+        """Whether adding another object requires an eviction."""
+        return len(self._contents) >= self.capacity
+
+    def segment_ids(self) -> Set[str]:
+        """Segment ids currently cached."""
+        return set(self._contents)
+
+    def objects(self) -> List[CachedObject]:
+        """Cached entries (deterministic order by segment id)."""
+        return [self._contents[key] for key in sorted(self._contents)]
+
+    def get(self, segment_id: str) -> CachedObject:
+        """Return (and touch) the cached entry for ``segment_id``."""
+        try:
+            entry = self._contents[segment_id]
+        except KeyError:
+            raise CacheError(f"object {segment_id!r} is not cached") from None
+        entry.last_used = next(self._clock)
+        self.num_hits += 1
+        return entry
+
+    def peek(self, segment_id: str) -> Optional[CachedObject]:
+        """Return the cached entry without touching it, or ``None``."""
+        return self._contents.get(segment_id)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, segment_id: str, payload: object, num_rows: int = 0) -> None:
+        """Insert ``payload`` under ``segment_id`` (caller must ensure space)."""
+        if segment_id in self._contents:
+            raise CacheError(f"object {segment_id!r} is already cached")
+        if self.is_full:
+            raise CacheError("cache is full; evict before adding")
+        tick = next(self._clock)
+        self._contents[segment_id] = CachedObject(
+            segment_id=segment_id,
+            payload=payload,
+            inserted_at=tick,
+            last_used=tick,
+            num_rows=num_rows,
+        )
+        self.num_insertions += 1
+
+    def evict(self, new_object: str, tracker: SubplanTracker) -> str:
+        """Choose and remove a victim to make room for ``new_object``."""
+        if not self._contents:
+            raise CacheError("cannot evict from an empty cache")
+        victim = self.policy.choose_victim(self, new_object, tracker)
+        if victim not in self._contents:
+            raise CacheError(f"policy {self.policy.name!r} chose a non-cached victim {victim!r}")
+        del self._contents[victim]
+        self.num_evictions += 1
+        return victim
+
+    def remove(self, segment_id: str) -> None:
+        """Drop ``segment_id`` from the cache (e.g. after pruning)."""
+        if segment_id in self._contents:
+            del self._contents[segment_id]

@@ -1,0 +1,78 @@
+"""The client proxy: mediator between MJoin and the cold storage device.
+
+In the paper this is a daemon collocated with each PostgreSQL instance: MJoin
+hands it the list of objects it needs, the proxy issues tagged HTTP GET
+requests against Swift and notifies MJoin as objects arrive.  Here the proxy
+translates segment ids into namespaced object keys, tags every request with a
+query identifier (so the CSD scheduler can be query-aware) and funnels
+completions into a FIFO the executor consumes in arrival order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+from repro.csd.device import ColdStorageDevice
+from repro.csd.object_store import make_object_key
+from repro.csd.request import GetRequest
+from repro.sim import Environment, Store
+
+
+class ClientProxy:
+    """Per-client request broker in front of the shared CSD."""
+
+    def __init__(self, env: Environment, device: ColdStorageDevice, client_id: str) -> None:
+        self.env = env
+        self.device = device
+        self.client_id = client_id
+        #: Arrived objects as ``(segment_id, payload)`` pairs in delivery order.
+        self.arrivals: Store = Store(env, name=f"{client_id}-arrivals")
+        self.requests_issued = 0
+        self.requests_completed = 0
+        self._query_counter = itertools.count()
+        self._outstanding: List[GetRequest] = []
+
+    def new_query_id(self, query_name: str) -> str:
+        """Mint a query identifier used to tag all requests of one query."""
+        return f"{self.client_id}:{query_name}:{next(self._query_counter)}"
+
+    def request_objects(self, segment_ids: Sequence[str], query_id: str) -> List[GetRequest]:
+        """Issue one GET per segment id, tagged with ``query_id``.
+
+        Completions are pushed into :attr:`arrivals` in the order the device
+        delivers them, which is generally different from the request order —
+        that is the whole point of CSD-driven execution.
+        """
+        issued: List[GetRequest] = []
+        for segment_id in segment_ids:
+            object_key = make_object_key(self.client_id, segment_id)
+            completion = self.env.event(name=f"{self.client_id}:{segment_id}")
+            completion.add_callback(self._make_arrival_callback(segment_id))
+            request = GetRequest(
+                object_key=object_key,
+                client_id=self.client_id,
+                query_id=query_id,
+                completion=completion,
+            )
+            self.device.submit(request)
+            issued.append(request)
+            self._outstanding.append(request)
+        self.requests_issued += len(issued)
+        return issued
+
+    def _make_arrival_callback(self, segment_id: str):
+        def _on_complete(event) -> None:
+            self.requests_completed += 1
+            self.arrivals.put((segment_id, event.value))
+
+        return _on_complete
+
+    def receive(self):
+        """Event firing with the next ``(segment_id, payload)`` delivery."""
+        return self.arrivals.get()
+
+    @property
+    def outstanding(self) -> Tuple[GetRequest, ...]:
+        """Requests issued so far (completed ones included, for diagnostics)."""
+        return tuple(self._outstanding)

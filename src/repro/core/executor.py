@@ -1,0 +1,171 @@
+"""The Skipper query executor.
+
+Drives the MJoin state manager over simulated time: it issues all object
+requests for a query up front through the client proxy, processes objects in
+whatever order the CSD pushes them back, charges CPU time for the work each
+arrival triggers, and re-issues requests for evicted objects cycle by cycle
+until every subplan has been executed or pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.cache import EvictionPolicy, MaxProgressEviction, ObjectCache
+from repro.core.client_proxy import ClientProxy
+from repro.core.mjoin import MJoinStateManager
+from repro.csd.device import ColdStorageDevice
+from repro.engine.catalog import Catalog
+from repro.engine.cost import CostModel
+from repro.engine.operators.base import OperatorStats, Row
+from repro.engine.query import Query
+from repro.exceptions import CacheError
+from repro.sim import Environment
+
+
+@dataclass
+class SkipperQueryResult:
+    """Outcome and metrics of one Skipper query execution."""
+
+    query_name: str
+    client_id: str
+    rows: List[Row]
+    start_time: float
+    end_time: float
+    processing_time: float
+    num_requests: int
+    num_cycles: int
+    num_evictions: int
+    subplans_total: int
+    subplans_executed: int
+    subplans_pruned: int
+    stats: OperatorStats
+    blocked_intervals: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def execution_time(self) -> float:
+        """End-to-end simulated execution time of the query."""
+        return self.end_time - self.start_time
+
+    @property
+    def waiting_time(self) -> float:
+        """Total simulated time spent blocked on the CSD."""
+        return sum(end - start for start, end in self.blocked_intervals)
+
+
+class SkipperExecutor:
+    """Cache-aware, CSD-driven executor for one database client."""
+
+    #: Consecutive request cycles without a single executed or pruned subplan
+    #: after which execution is aborted.  The paper's maximal-progress policy
+    #: never hits this; naive policies (LRU/FIFO) can livelock at very small
+    #: cache sizes because the same objects are evicted cycle after cycle.
+    max_stalled_cycles = 3
+
+    def __init__(
+        self,
+        env: Environment,
+        client_id: str,
+        catalog: Catalog,
+        device: ColdStorageDevice,
+        cache_capacity: int,
+        eviction_policy: Optional[EvictionPolicy] = None,
+        cost_model: Optional[CostModel] = None,
+        enable_pruning: bool = True,
+        proxy: Optional[ClientProxy] = None,
+    ) -> None:
+        self.env = env
+        self.client_id = client_id
+        self.catalog = catalog
+        self.device = device
+        self.cache_capacity = cache_capacity
+        self.eviction_policy = eviction_policy or MaxProgressEviction()
+        self.cost_model = cost_model or CostModel()
+        self.enable_pruning = enable_pruning
+        self.proxy = proxy or ClientProxy(env, device, client_id)
+
+    def execute(self, query: Query):
+        """Simulation-process generator executing ``query`` to completion.
+
+        Use as ``result = yield from executor.execute(query)`` inside another
+        process, or wrap with ``env.process(executor.execute(query))`` and
+        read the process value after ``env.run()``.
+        """
+        cache = ObjectCache(self.cache_capacity, policy=self.eviction_policy)
+        state = MJoinStateManager(
+            query,
+            self.catalog,
+            cache,
+            enable_pruning=self.enable_pruning,
+        )
+        query_id = self.proxy.new_query_id(query.name)
+        start_time = self.env.now
+        processing_time = 0.0
+        blocked: List[Tuple[float, float]] = []
+        num_requests = 0
+        handled_after_last_cycle = 0
+        stalled_cycles = 0
+
+        requests = state.initial_requests()
+        while requests:
+            self.proxy.request_objects(requests, query_id)
+            num_requests += len(requests)
+            overhead = self.cost_model.request_overhead(len(requests))
+            if overhead > 0:
+                processing_time += overhead
+                yield self.env.timeout(overhead)
+
+            for _ in range(len(requests)):
+                wait_start = self.env.now
+                segment_id, payload = yield self.proxy.receive()
+                if self.env.now > wait_start:
+                    blocked.append((wait_start, self.env.now))
+                outcome = state.on_arrival(segment_id, payload)
+                cpu_seconds = self._cpu_time(outcome.stats)
+                if cpu_seconds > 0:
+                    processing_time += cpu_seconds
+                    yield self.env.timeout(cpu_seconds)
+
+            handled = state.tracker.num_executed + state.tracker.num_pruned
+            if handled == handled_after_last_cycle:
+                stalled_cycles += 1
+            else:
+                stalled_cycles = 0
+            handled_after_last_cycle = handled
+            if stalled_cycles >= self.max_stalled_cycles:
+                raise CacheError(
+                    f"client {self.client_id!r}: eviction policy "
+                    f"{self.eviction_policy.name!r} made no progress for "
+                    f"{stalled_cycles} consecutive request cycles with a cache of "
+                    f"{self.cache_capacity} objects; use a larger cache or the "
+                    "maximal-progress policy"
+                )
+            requests = state.next_cycle_requests()
+
+        end_time = self.env.now
+        return SkipperQueryResult(
+            query_name=query.name,
+            client_id=self.client_id,
+            rows=state.results(),
+            start_time=start_time,
+            end_time=end_time,
+            processing_time=processing_time,
+            num_requests=num_requests,
+            num_cycles=state.cycles_completed,
+            num_evictions=cache.num_evictions,
+            subplans_total=state.tracker.total_subplans,
+            subplans_executed=state.tracker.num_executed,
+            subplans_pruned=state.tracker.num_pruned,
+            stats=state.stats,
+            blocked_intervals=blocked,
+        )
+
+    def _cpu_time(self, stats: OperatorStats) -> float:
+        """Convert work counters into simulated CPU seconds."""
+        return (
+            self.cost_model.scan_time(stats.tuples_scanned)
+            + self.cost_model.build_time(stats.tuples_built)
+            + self.cost_model.probe_time(stats.tuples_probed)
+            + self.cost_model.output_time(stats.tuples_output)
+        )

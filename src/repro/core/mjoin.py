@@ -1,0 +1,196 @@
+"""The cache-aware MJoin state manager (Algorithm 1 in the paper).
+
+The state manager owns the query's subplan tracker, the bounded object cache
+and the incremental aggregate.  It is deliberately free of any notion of
+simulated time: the Skipper executor (or a unit test) feeds it object
+arrivals one by one and receives back an :class:`ArrivalOutcome` describing
+what happened — what was cached, what was evicted, which subplans ran and how
+much work that took — so callers can charge simulated CPU seconds through the
+cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.cache import ObjectCache
+from repro.core.njoin import NAryJoin, PreparedSegment, prepare_segment
+from repro.core.subplan import SubplanTracker
+from repro.engine.catalog import Catalog
+from repro.engine.operators.aggregate import AggregateState
+from repro.engine.operators.base import OperatorStats, Row
+from repro.engine.planner import Planner, QueryPlan
+from repro.engine.query import Query
+from repro.engine.relation import Segment
+from repro.exceptions import CacheError, ExecutionError
+
+
+@dataclass
+class ArrivalOutcome:
+    """What happened when one object arrived at the state manager."""
+
+    segment_id: str
+    cached: bool
+    evicted: Optional[str] = None
+    evicted_still_needed: bool = False
+    executed_subplans: int = 0
+    pruned_subplans: int = 0
+    result_rows: int = 0
+    stats: OperatorStats = field(default_factory=OperatorStats)
+
+
+class MJoinStateManager:
+    """Implements the MJoin state-manager loop over out-of-order arrivals."""
+
+    def __init__(
+        self,
+        query: Query,
+        catalog: Catalog,
+        cache: ObjectCache,
+        enable_pruning: bool = True,
+        planner: Optional[Planner] = None,
+    ) -> None:
+        self.query = query
+        self.catalog = catalog
+        self.cache = cache
+        self.enable_pruning = enable_pruning
+        planner = planner or Planner(catalog)
+        self.plan: QueryPlan = planner.plan(query)
+        if cache.capacity < len(query.tables):
+            raise CacheError(
+                f"cache capacity {cache.capacity} is smaller than the number of joined "
+                f"relations ({len(query.tables)}); no subplan could ever run"
+            )
+        self.tracker = SubplanTracker(query, catalog, table_order=self.plan.join_order)
+        self.njoin = NAryJoin(query, self.plan)
+        self.aggregate = AggregateState(query.group_by, query.aggregates)
+        #: Objects found to contribute nothing (empty after filtering).
+        self.empty_objects: Set[str] = set()
+        #: Objects evicted while still needed; re-requested next cycle.
+        self.reissue_queue: List[str] = []
+        self.cycles_completed = 0
+        self.total_arrivals = 0
+        self.total_result_rows = 0
+        self.stats = OperatorStats()
+
+    # ------------------------------------------------------------------ #
+    # Request planning
+    # ------------------------------------------------------------------ #
+    def initial_requests(self) -> List[str]:
+        """All objects needed to evaluate the query (issued up front)."""
+        requests: List[str] = []
+        for table in self.plan.join_order:
+            requests.extend(self.catalog.segment_ids(table))
+        return requests
+
+    def next_cycle_requests(self) -> List[str]:
+        """Objects needed by pending subplans that are not currently cached.
+
+        Called once all previously issued requests have been received; the
+        returned objects form the next request cycle (the paper's re-issue
+        queue).  Objects known to be empty are never re-requested.
+        """
+        self.cycles_completed += 1
+        self.reissue_queue = []
+        if not self.tracker.has_pending():
+            return []
+        cached = self.cache.segment_ids()
+        needed = self.tracker.objects_needed()
+        requests = sorted(
+            segment_id
+            for segment_id in needed
+            if segment_id not in cached and segment_id not in self.empty_objects
+        )
+        return requests
+
+    def is_complete(self) -> bool:
+        """Whether every subplan has been executed or pruned."""
+        return not self.tracker.has_pending()
+
+    # ------------------------------------------------------------------ #
+    # Arrival processing
+    # ------------------------------------------------------------------ #
+    def on_arrival(self, segment_id: str, segment: Segment) -> ArrivalOutcome:
+        """Process one object pushed by the CSD."""
+        self.total_arrivals += 1
+        outcome = ArrivalOutcome(segment_id=segment_id, cached=False)
+        outcome.stats.tuples_scanned += segment.num_rows
+
+        if segment_id in self.cache or not self.tracker.object_in_pending(segment_id):
+            # Either a duplicate delivery or every subplan involving the
+            # object has already been executed/pruned while it was in flight.
+            self.stats.merge(outcome.stats)
+            return outcome
+
+        table_name = self.catalog.table_of_segment(segment_id)
+        prepared = prepare_segment(segment, self.query.filter_for(table_name), segment_id=segment_id)
+
+        if self.enable_pruning and prepared.num_rows == 0:
+            pruned = self.tracker.prune_object(segment_id)
+            outcome.pruned_subplans = len(pruned)
+            self.empty_objects.add(segment_id)
+            self.stats.merge(outcome.stats)
+            return outcome
+
+        evicted: Optional[str] = None
+        if self.cache.is_full:
+            evicted = self.cache.evict(segment_id, self.tracker)
+            outcome.evicted = evicted
+            outcome.evicted_still_needed = self.tracker.object_in_pending(evicted)
+            if outcome.evicted_still_needed:
+                self.reissue_queue.append(evicted)
+
+        runnable = self.tracker.newly_runnable(self.cache.segment_ids(), segment_id)
+        self.cache.add(segment_id, prepared, num_rows=prepared.num_rows)
+        outcome.cached = True
+        outcome.stats.tuples_built += prepared.num_rows
+
+        # Execute every newly runnable subplan.  The per-subplan join below
+        # recomputes intermediate results combination by combination, which
+        # is convenient for correctness (the union over subplans is exactly
+        # the query answer, with no duplicates) but would overcount CPU work:
+        # the real MJoin uses symmetric hashing, where an arriving tuple
+        # probes the hash tables of the other relations once, regardless of
+        # how many segment combinations it completes.  The work counters in
+        # ``outcome.stats`` therefore charge the incremental symmetric-hash
+        # cost — one probe per buffered tuple of the new object per other
+        # relation, plus the emitted result tuples — while the per-subplan
+        # execution results are discarded from the cost accounting.
+        subplan_stats = OperatorStats()
+        for subplan in runnable:
+            segments = self._segments_for(subplan.segments)
+            rows = self.njoin.execute(segments, subplan_stats)
+            self.aggregate.add_all(rows)
+            outcome.result_rows += len(rows)
+            self.total_result_rows += len(rows)
+            self.tracker.mark_executed(subplan)
+        outcome.executed_subplans = len(runnable)
+        if runnable:
+            other_tables = len(self.plan.steps) - 1
+            outcome.stats.tuples_probed += prepared.num_rows * max(1, other_tables)
+            outcome.stats.tuples_output += outcome.result_rows
+        self.stats.merge(outcome.stats)
+        return outcome
+
+    def _segments_for(self, segment_ids: Sequence[str]) -> Dict[str, PreparedSegment]:
+        segments: Dict[str, PreparedSegment] = {}
+        for segment_id in segment_ids:
+            entry = self.cache.get(segment_id)
+            prepared = entry.payload
+            if not isinstance(prepared, PreparedSegment):  # pragma: no cover - defensive
+                raise ExecutionError(f"cache holds unexpected payload for {segment_id!r}")
+            segments[prepared.table_name] = prepared
+        return segments
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def results(self) -> List[Row]:
+        """Final query answer accumulated across all executed subplans."""
+        rows = self.aggregate.results()
+        if self.query.order_by:
+            rows.sort(key=lambda row: tuple(row[column] for column in self.query.order_by))
+        if self.query.limit is not None:
+            rows = rows[: self.query.limit]
+        return rows

@@ -1,0 +1,118 @@
+"""Stateless n-ary join over the cached segments of one subplan.
+
+The MJoin state manager decides *when* a subplan is runnable; this module
+does the actual joining.  Hash tables are built lazily per (segment, join
+key) and memoised on the cached entry, mirroring the paper's design where the
+state manager builds hash tables as objects arrive and the join operator
+merely probes them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.operators.base import OperatorStats, Row
+from repro.engine.operators.hash_join import merge_rows
+from repro.engine.planner import QueryPlan
+from repro.engine.predicate import Predicate
+from repro.engine.query import Query
+from repro.engine.relation import Segment
+from repro.exceptions import ExecutionError
+
+
+class PreparedSegment:
+    """A fetched segment after filtering, ready to be joined.
+
+    ``hash_tables`` maps a tuple of key column names to a hash table from key
+    values to row lists; tables are built on first use and reused across all
+    subplans that touch the segment.
+    """
+
+    __slots__ = ("segment_id", "table_name", "rows", "hash_tables")
+
+    def __init__(self, segment_id: str, table_name: str, rows: List[Row]) -> None:
+        self.segment_id = segment_id
+        self.table_name = table_name
+        self.rows = rows
+        self.hash_tables: Dict[Tuple[str, ...], Dict[Tuple[object, ...], List[Row]]] = {}
+
+    @property
+    def num_rows(self) -> int:
+        """Number of (filtered) rows buffered for the segment."""
+        return len(self.rows)
+
+    def hash_table(self, key_columns: Tuple[str, ...]) -> Dict[Tuple[object, ...], List[Row]]:
+        """Return (building if necessary) the hash table on ``key_columns``."""
+        table = self.hash_tables.get(key_columns)
+        if table is None:
+            table = defaultdict(list)
+            for row in self.rows:
+                key = tuple(row[column] for column in key_columns)
+                table[key].append(row)
+            self.hash_tables[key_columns] = dict(table)
+        return self.hash_tables[key_columns]
+
+
+def prepare_segment(
+    segment: Segment, predicate: Optional[Predicate], segment_id: Optional[str] = None
+) -> PreparedSegment:
+    """Filter a raw segment into a :class:`PreparedSegment`."""
+    if predicate is None:
+        rows = list(segment.rows)
+    else:
+        rows = [row for row in segment.rows if predicate.evaluate(row)]
+    return PreparedSegment(
+        segment_id=segment_id or segment.segment_id,
+        table_name=segment.table_name,
+        rows=rows,
+    )
+
+
+class NAryJoin:
+    """Joins one prepared segment per relation following a left-deep order."""
+
+    def __init__(self, query: Query, plan: QueryPlan) -> None:
+        self.query = query
+        self.plan = plan
+        if [step.table for step in plan.steps] and set(step.table for step in plan.steps) != set(
+            query.tables
+        ):
+            raise ExecutionError("plan does not cover the query's tables")
+
+    def execute(
+        self, segments: Dict[str, PreparedSegment], stats: Optional[OperatorStats] = None
+    ) -> List[Row]:
+        """Join ``segments`` (table name → prepared segment) and return rows."""
+        stats = stats if stats is not None else OperatorStats()
+        missing = [step.table for step in self.plan.steps if step.table not in segments]
+        if missing:
+            raise ExecutionError(f"missing segments for tables: {missing}")
+
+        first = self.plan.steps[0].table
+        current: List[Row] = list(segments[first].rows)
+        if not current:
+            return []
+
+        for step in self.plan.steps[1:]:
+            probe_columns = tuple(
+                condition.column_for(condition.other(step.table)) for condition in step.conditions
+            )
+            build_columns = tuple(
+                condition.column_for(step.table) for condition in step.conditions
+            )
+            hash_table = segments[step.table].hash_table(build_columns)
+            next_rows: List[Row] = []
+            for row in current:
+                stats.tuples_probed += 1
+                key = tuple(row[column] for column in probe_columns)
+                matches = hash_table.get(key)
+                if not matches:
+                    continue
+                for match in matches:
+                    next_rows.append(merge_rows(match, row))
+            current = next_rows
+            if not current:
+                return []
+        stats.tuples_output += len(current)
+        return current

@@ -1,0 +1,210 @@
+"""Subplan enumeration and tracking.
+
+For a query joining relations R1 … Rn, each combination of one segment per
+relation is a *subplan* (Table 2 in the paper).  Executing every subplan and
+unioning the results is equivalent to executing the whole join, which is what
+allows Skipper to make progress in whatever order the CSD returns objects.
+
+:class:`SubplanTracker` keeps the pending / executed / pruned state of every
+subplan, indexes subplans by the objects they touch, and answers the two
+questions the cache-eviction policies need:
+
+* how many *pending* subplans does an object participate in, and
+* which pending subplans become *executable* given the cache contents plus a
+  newly arrived object.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.query import Query
+from repro.exceptions import QueryError
+
+
+class Subplan:
+    """One segment per joined relation, identified by its segment ids."""
+
+    __slots__ = ("subplan_id", "segments", "segment_set")
+
+    def __init__(self, subplan_id: int, segments: Tuple[str, ...]) -> None:
+        self.subplan_id = subplan_id
+        #: Segment ids ordered by the query's table order.
+        self.segments = segments
+        self.segment_set: FrozenSet[str] = frozenset(segments)
+
+    def involves(self, segment_id: str) -> bool:
+        """Whether the subplan touches ``segment_id``."""
+        return segment_id in self.segment_set
+
+    def is_covered_by(self, available: Set[str]) -> bool:
+        """Whether every segment of the subplan is in ``available``."""
+        return self.segment_set <= available
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Subplan #{self.subplan_id} {self.segments}>"
+
+
+class SubplanTracker:
+    """Tracks the execution state of every subplan of one query."""
+
+    def __init__(self, query: Query, catalog: Catalog, table_order: Optional[Sequence[str]] = None) -> None:
+        self.query = query
+        self.catalog = catalog
+        self.table_order: Tuple[str, ...] = tuple(table_order or query.tables)
+        if set(self.table_order) != set(query.tables):
+            raise QueryError("table_order must be a permutation of the query's tables")
+
+        per_table_segments: List[List[str]] = [
+            catalog.segment_ids(table) for table in self.table_order
+        ]
+        self._subplans: List[Subplan] = []
+        for subplan_id, combination in enumerate(itertools.product(*per_table_segments)):
+            self._subplans.append(Subplan(subplan_id, tuple(combination)))
+
+        self._pending: Set[int] = set(range(len(self._subplans)))
+        self._executed: Set[int] = set()
+        self._pruned: Set[int] = set()
+        #: object (segment id) -> ids of *pending* subplans containing it.
+        self._by_object: Dict[str, Set[int]] = {}
+        for subplan in self._subplans:
+            for segment_id in subplan.segments:
+                self._by_object.setdefault(segment_id, set()).add(subplan.subplan_id)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def total_subplans(self) -> int:
+        """Total number of subplans generated for the query."""
+        return len(self._subplans)
+
+    @property
+    def num_pending(self) -> int:
+        """Number of subplans still waiting to be executed."""
+        return len(self._pending)
+
+    @property
+    def num_executed(self) -> int:
+        """Number of subplans whose join has been executed."""
+        return len(self._executed)
+
+    @property
+    def num_pruned(self) -> int:
+        """Number of subplans discarded by empty-object pruning."""
+        return len(self._pruned)
+
+    def has_pending(self) -> bool:
+        """Whether any subplan is still pending."""
+        return bool(self._pending)
+
+    def subplan(self, subplan_id: int) -> Subplan:
+        """Return the subplan with the given id."""
+        return self._subplans[subplan_id]
+
+    def pending_subplans(self) -> List[Subplan]:
+        """All pending subplans (ascending id order)."""
+        return [self._subplans[subplan_id] for subplan_id in sorted(self._pending)]
+
+    def is_pending(self, subplan: Subplan) -> bool:
+        """Whether ``subplan`` is still pending."""
+        return subplan.subplan_id in self._pending
+
+    # ------------------------------------------------------------------ #
+    # Object-centric queries used by the cache policies
+    # ------------------------------------------------------------------ #
+    def objects(self) -> List[str]:
+        """All objects that appear in at least one subplan (pending or not)."""
+        return sorted(self._by_object)
+
+    def pending_count_for(self, segment_id: str) -> int:
+        """Number of pending subplans that involve ``segment_id``."""
+        return len(self._by_object.get(segment_id, ()))
+
+    def object_in_pending(self, segment_id: str) -> bool:
+        """Whether ``segment_id`` is needed by at least one pending subplan."""
+        return bool(self._by_object.get(segment_id))
+
+    def objects_needed(self) -> Set[str]:
+        """Objects required by at least one pending subplan."""
+        return {segment_id for segment_id, ids in self._by_object.items() if ids}
+
+    def newly_runnable(self, cached: Set[str], new_object: str) -> List[Subplan]:
+        """Pending subplans covered by ``cached ∪ {new_object}``.
+
+        Because runnable subplans are executed as soon as they become
+        runnable, any still-pending subplan covered by the cache must involve
+        the newly arrived object, so only those are inspected.
+        """
+        available = set(cached)
+        available.add(new_object)
+        result = []
+        for subplan_id in self._by_object.get(new_object, ()):
+            subplan = self._subplans[subplan_id]
+            if subplan.is_covered_by(available):
+                result.append(subplan)
+        return sorted(result, key=lambda subplan: subplan.subplan_id)
+
+    def executable_counts(self, cached: Set[str], new_object: str) -> Dict[str, int]:
+        """For every cached object, the number of pending subplans that would
+        be executable (given ``cached ∪ {new_object}``) in which it takes part.
+
+        This is exactly the quantity the paper's *maximal progress* eviction
+        policy minimises when choosing a victim.
+        """
+        runnable = self.newly_runnable(cached, new_object)
+        counts = {segment_id: 0 for segment_id in cached}
+        for subplan in runnable:
+            for segment_id in subplan.segments:
+                if segment_id in counts:
+                    counts[segment_id] += 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # State transitions
+    # ------------------------------------------------------------------ #
+    def mark_executed(self, subplan: Subplan) -> None:
+        """Move a pending subplan to the executed state."""
+        if subplan.subplan_id not in self._pending:
+            raise QueryError(f"subplan #{subplan.subplan_id} is not pending")
+        self._pending.discard(subplan.subplan_id)
+        self._executed.add(subplan.subplan_id)
+        self._unindex(subplan)
+
+    def prune_object(self, segment_id: str) -> List[Subplan]:
+        """Discard every pending subplan involving ``segment_id``.
+
+        Used when an object is known to contribute no result tuples (e.g. its
+        filtered row set is empty): none of its subplans can produce output,
+        so they are dropped without being executed.  Returns the pruned
+        subplans.
+        """
+        pruned: List[Subplan] = []
+        for subplan_id in sorted(self._by_object.get(segment_id, set())):
+            subplan = self._subplans[subplan_id]
+            self._pending.discard(subplan_id)
+            self._pruned.add(subplan_id)
+            pruned.append(subplan)
+            self._unindex(subplan)
+        return pruned
+
+    def _unindex(self, subplan: Subplan) -> None:
+        for segment_id in subplan.segments:
+            ids = self._by_object.get(segment_id)
+            if ids is not None:
+                ids.discard(subplan.subplan_id)
+
+
+def enumerate_subplans(
+    segments_per_table: Dict[str, Iterable[str]]
+) -> List[Tuple[str, ...]]:
+    """Enumerate subplans for an explicit table → segments mapping.
+
+    A convenience used by documentation examples and the Table 2 benchmark;
+    the heavy lifting for real queries goes through :class:`SubplanTracker`.
+    """
+    tables = list(segments_per_table)
+    lists = [list(segments_per_table[table]) for table in tables]
+    return [tuple(combination) for combination in itertools.product(*lists)]

@@ -1,0 +1,234 @@
+"""The simulated Cold Storage Device.
+
+The device is a single simulation process that mirrors the paper's Swift
+middleware: it receives tagged GET requests, consults the layout to find the
+disk group of each object, asks the configured I/O scheduler which group to
+load, charges the group-switch latency when the loaded group changes, and
+then streams objects back to clients one at a time, charging a per-object
+transfer time.
+
+For every unit of busy time the device records a :class:`BusyInterval`
+(switch or transfer) so the metrics layer can attribute each client's waiting
+time to switching vs. data transfer — the breakdown shown in Figure 9 and
+Table 3 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.csd.disk_group import DiskGroupLayout
+from repro.csd.object_store import ObjectStore
+from repro.csd.request import GetRequest
+from repro.csd.scheduler import IOScheduler
+from repro.exceptions import StorageError
+from repro.sim import Environment, Store
+
+
+@dataclass
+class DeviceConfig:
+    """Tunable parameters of the emulated CSD."""
+
+    #: Latency of spinning down the loaded group and spinning up another.
+    group_switch_seconds: float = 10.0
+    #: Time to push one object to a client (serialized middleware, as in the paper).
+    transfer_seconds_per_object: float = 9.6
+    #: When True, transfers to *different* clients overlap (each client still
+    #: receives its own objects serially).  This models the paper's
+    #: HDD-based capacity tier served by plain Swift, where per-client network
+    #: streams proceed in parallel; the CSD emulation keeps the paper's
+    #: serialized middleware behaviour (False).
+    concurrent_transfers: bool = False
+
+    def __post_init__(self) -> None:
+        if self.group_switch_seconds < 0:
+            raise StorageError("group_switch_seconds must be non-negative")
+        if self.transfer_seconds_per_object < 0:
+            raise StorageError("transfer_seconds_per_object must be non-negative")
+
+
+@dataclass(frozen=True)
+class BusyInterval:
+    """One stretch of device activity: a group switch or an object transfer."""
+
+    start: float
+    end: float
+    kind: str  # "switch" or "transfer"
+    group_id: int
+    client_id: Optional[str] = None
+    query_id: Optional[str] = None
+    object_key: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in simulated seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class DeviceStats:
+    """Aggregate counters maintained by the device."""
+
+    objects_served: int = 0
+    group_switches: int = 0
+    requests_received: int = 0
+    objects_per_client: Dict[str, int] = field(default_factory=dict)
+
+    def record_served(self, client_id: str) -> None:
+        self.objects_served += 1
+        self.objects_per_client[client_id] = self.objects_per_client.get(client_id, 0) + 1
+
+
+class ColdStorageDevice:
+    """Simulated MAID-style cold storage device shared by all clients."""
+
+    def __init__(
+        self,
+        env: Environment,
+        object_store: ObjectStore,
+        layout: DiskGroupLayout,
+        scheduler: IOScheduler,
+        config: Optional[DeviceConfig] = None,
+    ) -> None:
+        self.env = env
+        self.object_store = object_store
+        self.layout = layout
+        self.scheduler = scheduler
+        self.config = config or DeviceConfig()
+        self.inbox: Store = Store(env, name="csd-inbox")
+        self.current_group: Optional[int] = None
+        self.busy_intervals: List[BusyInterval] = []
+        self.stats = DeviceStats()
+        self._client_busy_until: Dict[str, float] = {}
+        self._inflight = 0
+        self._drained_event = None
+        self.process = env.process(self._run(), name="cold-storage-device")
+
+    # ------------------------------------------------------------------ #
+    # Client-facing API
+    # ------------------------------------------------------------------ #
+    def submit(self, request: GetRequest) -> GetRequest:
+        """Submit a GET request; its ``completion`` event fires with the payload."""
+        if not self.object_store.exists(request.object_key):
+            raise StorageError(f"request for unknown object {request.object_key!r}")
+        if not self.layout.has_object(request.object_key):
+            raise StorageError(f"object {request.object_key!r} is not placed on any disk group")
+        request.issue_time = self.env.now
+        self.inbox.put(request)
+        return request
+
+    def get(self, object_key: str, client_id: str, query_id: str) -> GetRequest:
+        """Convenience wrapper building and submitting a request."""
+        request = GetRequest(
+            object_key=object_key,
+            client_id=client_id,
+            query_id=query_id,
+            completion=self.env.event(name=f"get:{object_key}"),
+        )
+        return self.submit(request)
+
+    # ------------------------------------------------------------------ #
+    # Device main loop
+    # ------------------------------------------------------------------ #
+    def _register(self, request: GetRequest) -> None:
+        group = self.layout.group_of(request.object_key)
+        self.scheduler.add_request(request, group)
+        self.stats.requests_received += 1
+
+    def _drain_inbox(self) -> None:
+        while True:
+            request = self.inbox.try_get()
+            if request is None:
+                break
+            self._register(request)
+
+    def _run(self):
+        while True:
+            self._drain_inbox()
+            if not self.scheduler.has_pending():
+                request = yield self.inbox.get()
+                self._register(request)
+                continue
+
+            # Decide which group to serve next.  The decision is re-evaluated
+            # only after the *service set* — the requests pending on the
+            # chosen group at decision time — has been fully served
+            # (non-preemptive), or after every object for the FCFS policies.
+            group = self.scheduler.choose_next_group(self.current_group)
+            if group != self.current_group:
+                # Never abandon a group while deliveries to clients are still
+                # in flight (only relevant with concurrent transfers).
+                while self._inflight > 0:
+                    self._drained_event = self.env.event(name="csd-drained")
+                    yield self._drained_event
+                    self._drain_inbox()
+                yield from self._switch_to(group)
+                self._drain_inbox()
+
+            quota = self.scheduler.service_quota(group)
+            while quota > 0:
+                request = self.scheduler.next_request(group)
+                if request is None:
+                    break
+                yield from self._serve(request, group)
+                quota -= 1
+                self._drain_inbox()
+
+    def _switch_to(self, group: int):
+        start = self.env.now
+        if self.config.group_switch_seconds > 0:
+            yield self.env.timeout(self.config.group_switch_seconds)
+        self.busy_intervals.append(
+            BusyInterval(start=start, end=self.env.now, kind="switch", group_id=group)
+        )
+        self.current_group = group
+        self.stats.group_switches += 1
+        self.scheduler.notify_switch(group)
+
+    def _serve(self, request: GetRequest, group: int):
+        if self.config.concurrent_transfers:
+            # The device only dispatches the transfer; the delivery occupies
+            # the client's (per-tenant) channel, so different clients receive
+            # data in parallel while the same client still gets objects
+            # serially.
+            start = max(self.env.now, self._client_busy_until.get(request.client_id, 0.0))
+            end = start + self.config.transfer_seconds_per_object
+            self._client_busy_until[request.client_id] = end
+            self._inflight += 1
+            self.env.process(
+                self._deliver_at(request, group, start, end),
+                name=f"deliver:{request.object_key}",
+            )
+            return
+        start = self.env.now
+        if self.config.transfer_seconds_per_object > 0:
+            yield self.env.timeout(self.config.transfer_seconds_per_object)
+        self._complete(request, group, start, self.env.now)
+
+    def _deliver_at(self, request: GetRequest, group: int, start: float, end: float):
+        if end > self.env.now:
+            yield self.env.timeout(end - self.env.now)
+        self._complete(request, group, start, end)
+        self._inflight -= 1
+        if self._inflight == 0 and self._drained_event is not None:
+            drained, self._drained_event = self._drained_event, None
+            drained.succeed(None)
+
+    def _complete(self, request: GetRequest, group: int, start: float, end: float) -> None:
+        self.busy_intervals.append(
+            BusyInterval(
+                start=start,
+                end=end,
+                kind="transfer",
+                group_id=group,
+                client_id=request.client_id,
+                query_id=request.query_id,
+                object_key=request.object_key,
+            )
+        )
+        request.group_id = group
+        request.complete_time = end
+        self.stats.record_served(request.client_id)
+        payload = self.object_store.get(request.object_key)
+        request.completion.succeed(payload)

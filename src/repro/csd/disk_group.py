@@ -1,0 +1,67 @@
+"""Disk groups and the object-to-group mapping."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set
+
+from repro.exceptions import LayoutError
+
+
+class DiskGroupLayout:
+    """Immutable mapping from object keys to disk-group identifiers.
+
+    The CSD middleware in the paper keeps exactly this metadata: which group
+    each stored object lives on.  Group identifiers are small integers.
+    """
+
+    def __init__(self, assignment: Mapping[str, int]) -> None:
+        if not assignment:
+            raise LayoutError("layout must place at least one object")
+        for key, group in assignment.items():
+            if group < 0:
+                raise LayoutError(f"object {key!r} assigned to negative group {group}")
+        self._assignment: Dict[str, int] = dict(assignment)
+        self._groups: Dict[int, Set[str]] = {}
+        for key, group in self._assignment.items():
+            self._groups.setdefault(group, set()).add(key)
+
+    @property
+    def num_groups(self) -> int:
+        """Number of distinct disk groups used by the layout."""
+        return len(self._groups)
+
+    @property
+    def group_ids(self) -> List[int]:
+        """Sorted list of group identifiers."""
+        return sorted(self._groups)
+
+    def group_of(self, object_key: str) -> int:
+        """Group holding ``object_key``."""
+        try:
+            return self._assignment[object_key]
+        except KeyError:
+            raise LayoutError(f"object {object_key!r} is not placed by this layout") from None
+
+    def objects_in_group(self, group_id: int) -> Set[str]:
+        """All object keys stored in ``group_id``."""
+        if group_id not in self._groups:
+            raise LayoutError(f"unknown disk group: {group_id}")
+        return set(self._groups[group_id])
+
+    def has_object(self, object_key: str) -> bool:
+        """Whether the layout places ``object_key``."""
+        return object_key in self._assignment
+
+    def groups_of(self, object_keys: Iterable[str]) -> Set[int]:
+        """Set of groups covering ``object_keys``."""
+        return {self.group_of(key) for key in object_keys}
+
+    def as_dict(self) -> Dict[str, int]:
+        """Copy of the underlying object → group mapping."""
+        return dict(self._assignment)
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DiskGroupLayout objects={len(self._assignment)} groups={self.num_groups}>"

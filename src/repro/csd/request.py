@@ -1,0 +1,58 @@
+"""Object GET requests.
+
+Each request is tagged with the issuing client and a query identifier — the
+"semantic information" the Skipper client proxy attaches so the CSD scheduler
+can reason about whole queries instead of isolated objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+_request_counter = itertools.count()
+
+
+class GetRequest:
+    """A single object GET issued by a database client."""
+
+    def __init__(
+        self,
+        object_key: str,
+        client_id: str,
+        query_id: str,
+        completion: "Event",
+        issue_time: float = 0.0,
+    ) -> None:
+        self.request_id = next(_request_counter)
+        self.object_key = object_key
+        self.client_id = client_id
+        self.query_id = query_id
+        self.completion = completion
+        self.issue_time = issue_time
+        #: Filled in by the device when the request is served.
+        self.group_id: Optional[int] = None
+        self.complete_time: Optional[float] = None
+
+    @property
+    def table_name(self) -> str:
+        """Table encoded in the object key (``tenant/table.index`` or ``table.index``)."""
+        _tenant, _, local = self.object_key.rpartition("/")
+        table, _, _index = local.rpartition(".")
+        return table
+
+    @property
+    def segment_index(self) -> int:
+        """Segment index encoded in the object key."""
+        _tenant, _, local = self.object_key.rpartition("/")
+        _table, _, index = local.rpartition(".")
+        return int(index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GetRequest #{self.request_id} {self.object_key} "
+            f"client={self.client_id} query={self.query_id}>"
+        )

@@ -1,0 +1,77 @@
+"""Base class and statistics for physical operators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+Row = Dict[str, object]
+
+
+@dataclass
+class OperatorStats:
+    """Work counters accumulated while an operator runs.
+
+    The executors convert these counters into simulated CPU time through the
+    :class:`~repro.engine.cost.CostModel`, so every operator is responsible
+    for keeping them up to date.
+    """
+
+    tuples_scanned: int = 0
+    tuples_built: int = 0
+    tuples_probed: int = 0
+    tuples_output: int = 0
+
+    def merge(self, other: "OperatorStats") -> None:
+        """Add the counters of ``other`` into this object."""
+        self.tuples_scanned += other.tuples_scanned
+        self.tuples_built += other.tuples_built
+        self.tuples_probed += other.tuples_probed
+        self.tuples_output += other.tuples_output
+
+    def total(self) -> int:
+        """Total number of counted tuple operations."""
+        return (
+            self.tuples_scanned + self.tuples_built + self.tuples_probed + self.tuples_output
+        )
+
+
+@dataclass
+class PlanStats:
+    """Aggregated statistics for a whole plan execution."""
+
+    operators: List[OperatorStats] = field(default_factory=list)
+
+    def combined(self) -> OperatorStats:
+        """Sum of all collected per-operator statistics."""
+        result = OperatorStats()
+        for stats in self.operators:
+            result.merge(stats)
+        return result
+
+
+class Operator:
+    """A physical operator producing rows via iteration."""
+
+    def __init__(self) -> None:
+        self.stats = OperatorStats()
+
+    def __iter__(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def rows(self) -> List[Row]:
+        """Materialise the operator's full output."""
+        return list(iter(self))
+
+    def collect_stats(self) -> OperatorStats:
+        """Statistics for this operator and all of its children."""
+        total = OperatorStats()
+        total.merge(self.stats)
+        for child in self.children():
+            total.merge(child.collect_stats())
+        return total
+
+    def children(self) -> List["Operator"]:
+        """Child operators (empty for leaves)."""
+        return []

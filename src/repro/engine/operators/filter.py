@@ -1,0 +1,27 @@
+"""Row filter operator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.engine.operators.base import Operator, Row
+from repro.engine.predicate import Predicate
+
+
+class Filter(Operator):
+    """Yield only the child rows satisfying a predicate."""
+
+    def __init__(self, child: Operator, predicate: Predicate) -> None:
+        super().__init__()
+        self.child = child
+        self.predicate = predicate
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            self.stats.tuples_scanned += 1
+            if self.predicate.evaluate(row):
+                self.stats.tuples_output += 1
+                yield row

@@ -1,0 +1,75 @@
+"""In-memory equi hash join."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.engine.operators.base import Operator, Row
+from repro.exceptions import ExecutionError
+
+
+def join_key(row: Row, columns: Sequence[str]) -> Tuple[object, ...]:
+    """Extract the join-key tuple for ``columns`` from ``row``."""
+    try:
+        return tuple(row[column] for column in columns)
+    except KeyError as exc:
+        raise ExecutionError(f"join key column missing from row: {exc}") from None
+
+
+class HashJoin(Operator):
+    """Classic build/probe equi-join.
+
+    The build side is materialised into a hash table keyed on
+    ``build_keys``; the probe side streams and emits merged rows for every
+    match.  Column names are assumed globally unique (TPC-H style prefixes),
+    so merging two row dictionaries never silently drops data; an
+    :class:`ExecutionError` is raised if a collision with differing values is
+    detected.
+    """
+
+    def __init__(
+        self,
+        build: Operator,
+        probe: Operator,
+        build_keys: Sequence[str],
+        probe_keys: Sequence[str],
+    ) -> None:
+        super().__init__()
+        if len(build_keys) != len(probe_keys) or not build_keys:
+            raise ExecutionError("hash join requires matching, non-empty key lists")
+        self.build = build
+        self.probe = probe
+        self.build_keys = list(build_keys)
+        self.probe_keys = list(probe_keys)
+
+    def children(self) -> List[Operator]:
+        return [self.build, self.probe]
+
+    def __iter__(self) -> Iterator[Row]:
+        table: Dict[Tuple[object, ...], List[Row]] = defaultdict(list)
+        for row in self.build:
+            self.stats.tuples_built += 1
+            table[join_key(row, self.build_keys)].append(row)
+
+        for probe_row in self.probe:
+            self.stats.tuples_probed += 1
+            matches = table.get(join_key(probe_row, self.probe_keys))
+            if not matches:
+                continue
+            for build_row in matches:
+                merged = merge_rows(build_row, probe_row)
+                self.stats.tuples_output += 1
+                yield merged
+
+
+def merge_rows(left: Row, right: Row) -> Row:
+    """Merge two row dictionaries, checking for conflicting duplicates."""
+    merged = dict(left)
+    for key, value in right.items():
+        if key in merged and merged[key] != value:
+            raise ExecutionError(
+                f"column {key!r} appears on both join sides with different values"
+            )
+        merged[key] = value
+    return merged

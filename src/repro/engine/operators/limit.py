@@ -1,0 +1,31 @@
+"""Limit operator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.engine.operators.base import Operator, Row
+from repro.exceptions import QueryError
+
+
+class Limit(Operator):
+    """Yield at most the first ``count`` rows of the child."""
+
+    def __init__(self, child: Operator, count: int) -> None:
+        super().__init__()
+        if count <= 0:
+            raise QueryError("limit must be positive")
+        self.child = child
+        self.count = count
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def __iter__(self) -> Iterator[Row]:
+        emitted = 0
+        for row in self.child:
+            if emitted >= self.count:
+                break
+            emitted += 1
+            self.stats.tuples_output += 1
+            yield row

@@ -1,0 +1,37 @@
+"""Projection operator."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.engine.operators.base import Operator, Row
+from repro.engine.predicate import Expression
+from repro.exceptions import QueryError
+
+
+class Project(Operator):
+    """Produce rows containing selected columns and/or computed expressions."""
+
+    def __init__(
+        self,
+        child: Operator,
+        columns: Optional[Sequence[str]] = None,
+        expressions: Optional[Mapping[str, Expression]] = None,
+    ) -> None:
+        super().__init__()
+        if not columns and not expressions:
+            raise QueryError("Project requires at least one column or expression")
+        self.child = child
+        self.columns = list(columns or [])
+        self.expressions = dict(expressions or {})
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            output: Dict[str, object] = {name: row[name] for name in self.columns}
+            for alias, expression in self.expressions.items():
+                output[alias] = expression.evaluate(row)
+            self.stats.tuples_output += 1
+            yield output

@@ -1,0 +1,51 @@
+"""Scan operators over segments and whole relations."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.engine.operators.base import Operator, Row
+from repro.engine.predicate import Predicate
+from repro.engine.relation import Relation, Segment
+
+
+class SegmentScan(Operator):
+    """Scan a single segment, optionally applying a filter predicate."""
+
+    def __init__(self, segment: Segment, predicate: Optional[Predicate] = None) -> None:
+        super().__init__()
+        self.segment = segment
+        self.predicate = predicate
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.segment.rows:
+            self.stats.tuples_scanned += 1
+            if self.predicate is None or self.predicate.evaluate(row):
+                self.stats.tuples_output += 1
+                yield row
+
+
+class SequentialScan(Operator):
+    """Scan every segment of a relation in order (PostgreSQL seq-scan)."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        predicate: Optional[Predicate] = None,
+        segments: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__()
+        self.relation = relation
+        self.predicate = predicate
+        if segments is None:
+            self._segments: List[Segment] = list(relation.segments)
+        else:
+            self._segments = [relation.segment(index) for index in segments]
+
+    def __iter__(self) -> Iterator[Row]:
+        for segment in self._segments:
+            for row in segment.rows:
+                self.stats.tuples_scanned += 1
+                if self.predicate is None or self.predicate.evaluate(row):
+                    self.stats.tuples_output += 1
+                    yield row

@@ -1,0 +1,28 @@
+"""Sort operator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.engine.operators.base import Operator, Row
+
+
+class Sort(Operator):
+    """Blocking sort on one or more columns."""
+
+    def __init__(self, child: Operator, keys: Sequence[str], descending: bool = False) -> None:
+        super().__init__()
+        self.child = child
+        self.keys = list(keys)
+        self.descending = descending
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def __iter__(self) -> Iterator[Row]:
+        rows = list(self.child)
+        self.stats.tuples_scanned += len(rows)
+        rows.sort(key=lambda row: tuple(row[key] for key in self.keys), reverse=self.descending)
+        for row in rows:
+            self.stats.tuples_output += 1
+            yield row

@@ -1,0 +1,277 @@
+"""Expression and predicate trees evaluated over row dictionaries."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence
+
+from repro.exceptions import ExecutionError, QueryError
+
+Row = Dict[str, object]
+
+
+class Expression:
+    """Base class for scalar expressions evaluated against a row."""
+
+    def evaluate(self, row: Row) -> object:
+        """Return the expression's value for ``row``."""
+        raise NotImplementedError
+
+    def columns(self) -> FrozenSet[str]:
+        """Names of all columns referenced by the expression."""
+        raise NotImplementedError
+
+
+class ColumnRef(Expression):
+    """Reference to a column by name."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise QueryError("column reference requires a name")
+        self.name = name
+
+    def evaluate(self, row: Row) -> object:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise ExecutionError(f"row has no column {self.name!r}") from None
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"col({self.name})"
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def evaluate(self, row: Row) -> object:
+        return self.value
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"lit({self.value!r})"
+
+
+_ARITHMETIC_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class Arithmetic(Expression):
+    """Binary arithmetic over two sub-expressions (``+ - * /``)."""
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _ARITHMETIC_OPS:
+            raise QueryError(f"unsupported arithmetic operator: {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Row) -> object:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        try:
+            return _ARITHMETIC_OPS[self.op](left, right)
+        except ZeroDivisionError:
+            raise ExecutionError("division by zero in expression") from None
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Predicate(Expression):
+    """Base class for boolean expressions."""
+
+    def evaluate(self, row: Row) -> bool:  # type: ignore[override]
+        raise NotImplementedError
+
+
+_COMPARISON_OPS = {
+    "=": lambda a, b: a == b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Comparison(Predicate):
+    """Compare two expressions with a relational operator."""
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _COMPARISON_OPS:
+            raise QueryError(f"unsupported comparison operator: {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Row) -> bool:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return False
+        return bool(_COMPARISON_OPS[self.op](left, right))
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Between(Predicate):
+    """``low <= expr < high`` (half-open, convenient for date ranges)."""
+
+    def __init__(self, expr: Expression, low: object, high: object, inclusive: bool = False) -> None:
+        self.expr = expr
+        self.low = low
+        self.high = high
+        self.inclusive = inclusive
+
+    def evaluate(self, row: Row) -> bool:
+        value = self.expr.evaluate(row)
+        if value is None:
+            return False
+        if self.inclusive:
+            return bool(self.low <= value <= self.high)  # type: ignore[operator]
+        return bool(self.low <= value < self.high)  # type: ignore[operator]
+
+    def columns(self) -> FrozenSet[str]:
+        return self.expr.columns()
+
+
+class InList(Predicate):
+    """Membership test against a fixed set of values."""
+
+    def __init__(self, expr: Expression, values: Iterable[object]) -> None:
+        self.expr = expr
+        self.values = frozenset(values)
+        if not self.values:
+            raise QueryError("IN list must not be empty")
+
+    def evaluate(self, row: Row) -> bool:
+        return self.expr.evaluate(row) in self.values
+
+    def columns(self) -> FrozenSet[str]:
+        return self.expr.columns()
+
+
+class And(Predicate):
+    """Conjunction of one or more predicates."""
+
+    def __init__(self, *predicates: Predicate) -> None:
+        if not predicates:
+            raise QueryError("And requires at least one predicate")
+        self.predicates: Sequence[Predicate] = tuple(predicates)
+
+    def evaluate(self, row: Row) -> bool:
+        return all(predicate.evaluate(row) for predicate in self.predicates)
+
+    def columns(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for predicate in self.predicates:
+            result |= predicate.columns()
+        return result
+
+
+class Or(Predicate):
+    """Disjunction of one or more predicates."""
+
+    def __init__(self, *predicates: Predicate) -> None:
+        if not predicates:
+            raise QueryError("Or requires at least one predicate")
+        self.predicates: Sequence[Predicate] = tuple(predicates)
+
+    def evaluate(self, row: Row) -> bool:
+        return any(predicate.evaluate(row) for predicate in self.predicates)
+
+    def columns(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for predicate in self.predicates:
+            result |= predicate.columns()
+        return result
+
+
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    def __init__(self, predicate: Predicate) -> None:
+        self.predicate = predicate
+
+    def evaluate(self, row: Row) -> bool:
+        return not self.predicate.evaluate(row)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.predicate.columns()
+
+
+class TruePredicate(Predicate):
+    """Predicate that accepts every row (useful as a neutral filter)."""
+
+    def evaluate(self, row: Row) -> bool:
+        return True
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+# --------------------------------------------------------------------------- #
+# Convenience constructors, used heavily by the workload definitions
+# --------------------------------------------------------------------------- #
+def col(name: str) -> ColumnRef:
+    """Shorthand for :class:`ColumnRef`."""
+    return ColumnRef(name)
+
+
+def lit(value: object) -> Literal:
+    """Shorthand for :class:`Literal`."""
+    return Literal(value)
+
+
+def eq(column: str, value: object) -> Comparison:
+    """``column = value`` against a literal."""
+    return Comparison("=", ColumnRef(column), Literal(value))
+
+
+def ge(column: str, value: object) -> Comparison:
+    """``column >= value`` against a literal."""
+    return Comparison(">=", ColumnRef(column), Literal(value))
+
+
+def lt(column: str, value: object) -> Comparison:
+    """``column < value`` against a literal."""
+    return Comparison("<", ColumnRef(column), Literal(value))
+
+
+def between(column: str, low: object, high: object, inclusive: bool = False) -> Between:
+    """``low <= column < high`` (or inclusive on both ends)."""
+    return Between(ColumnRef(column), low, high, inclusive=inclusive)
+
+
+def in_list(column: str, values: Iterable[object]) -> InList:
+    """``column IN (values…)``."""
+    return InList(ColumnRef(column), values)
+
+
+def conjunction(predicates: List[Predicate]) -> Predicate:
+    """AND a list of predicates together, tolerating empty lists."""
+    if not predicates:
+        return TruePredicate()
+    if len(predicates) == 1:
+        return predicates[0]
+    return And(*predicates)

@@ -1,0 +1,120 @@
+"""Segmented relations.
+
+The paper stores each relation as a set of 1 GB *segments*, each of which is
+one object in the cold storage device.  Here a :class:`Segment` is a list of
+rows and a :class:`Relation` is an ordered list of segments plus a schema.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from repro.engine.schema import TableSchema
+from repro.exceptions import SchemaError
+
+
+class Segment:
+    """A horizontal slice of a relation stored as one CSD object."""
+
+    def __init__(self, table_name: str, index: int, rows: Sequence[Dict[str, object]]) -> None:
+        if index < 0:
+            raise SchemaError(f"segment index must be >= 0, got {index}")
+        self.table_name = table_name
+        self.index = index
+        self.rows: List[Dict[str, object]] = list(rows)
+
+    @property
+    def segment_id(self) -> str:
+        """Stable identifier, e.g. ``lineitem.3``."""
+        return f"{self.table_name}.{self.index}"
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows stored in the segment."""
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Segment {self.segment_id} rows={self.num_rows}>"
+
+
+class Relation:
+    """A schema plus an ordered list of segments."""
+
+    def __init__(self, schema: TableSchema, segments: Iterable[Segment]) -> None:
+        self.schema = schema
+        self.segments: List[Segment] = list(segments)
+        for position, segment in enumerate(self.segments):
+            if segment.table_name != schema.name:
+                raise SchemaError(
+                    f"segment {segment.segment_id} does not belong to table {schema.name!r}"
+                )
+            if segment.index != position:
+                raise SchemaError(
+                    f"segment indices of {schema.name!r} must be consecutive from 0; "
+                    f"found {segment.index} at position {position}"
+                )
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: TableSchema,
+        rows: Sequence[Dict[str, object]],
+        rows_per_segment: int,
+        validate: bool = False,
+    ) -> "Relation":
+        """Split ``rows`` into segments of at most ``rows_per_segment`` rows.
+
+        A relation always has at least one (possibly empty) segment so that
+        every table is represented by at least one CSD object.
+        """
+        if rows_per_segment <= 0:
+            raise SchemaError("rows_per_segment must be positive")
+        if validate:
+            for row in rows:
+                schema.validate_row(row)
+        segments: List[Segment] = []
+        for start in range(0, len(rows), rows_per_segment):
+            segments.append(Segment(schema.name, len(segments), rows[start : start + rows_per_segment]))
+        if not segments:
+            segments.append(Segment(schema.name, 0, []))
+        return cls(schema, segments)
+
+    @property
+    def name(self) -> str:
+        """The relation's (table) name."""
+        return self.schema.name
+
+    @property
+    def num_segments(self) -> int:
+        """Number of segments (CSD objects) making up the relation."""
+        return len(self.segments)
+
+    @property
+    def num_rows(self) -> int:
+        """Total number of rows across all segments."""
+        return sum(segment.num_rows for segment in self.segments)
+
+    def segment(self, index: int) -> Segment:
+        """Return segment ``index`` or raise :class:`SchemaError`."""
+        if not 0 <= index < len(self.segments):
+            raise SchemaError(f"table {self.name!r} has no segment {index}")
+        return self.segments[index]
+
+    def all_rows(self) -> List[Dict[str, object]]:
+        """Materialise all rows of the relation (segment order)."""
+        rows: List[Dict[str, object]] = []
+        for segment in self.segments:
+            rows.extend(segment.rows)
+        return rows
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self.segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Relation {self.name} segments={self.num_segments} rows={self.num_rows}>"

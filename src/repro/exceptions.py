@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration problems from runtime ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator is used incorrectly."""
+
+
+class SchemaError(ReproError):
+    """Raised for malformed schemas, unknown columns or type mismatches."""
+
+
+class CatalogError(ReproError):
+    """Raised when a relation or segment cannot be resolved in the catalog."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed query specifications (unknown tables, bad joins)."""
+
+
+class PlanningError(ReproError):
+    """Raised when the planner cannot build a plan for a query."""
+
+
+class ExecutionError(ReproError):
+    """Raised when query execution fails at runtime."""
+
+
+class StorageError(ReproError):
+    """Raised by the object store / CSD substrate (missing objects, etc.)."""
+
+
+class LayoutError(StorageError):
+    """Raised when a data layout policy cannot place objects."""
+
+
+class SchedulingError(StorageError):
+    """Raised when an I/O scheduler is misconfigured."""
+
+
+class CacheError(ReproError):
+    """Raised by the Skipper buffer cache (e.g. capacity too small)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid experiment or cost-model configuration."""

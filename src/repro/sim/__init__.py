@@ -1,0 +1,28 @@
+"""Minimal discrete-event simulation kernel.
+
+The multi-client experiments in the paper measure how database clients and a
+shared Cold Storage Device interleave over time.  Rather than sleeping for
+real seconds (the paper's middleware adds wall-clock delays), every component
+in this reproduction advances a *simulated* clock managed by this package.
+
+The kernel is intentionally small and SimPy-like:
+
+* :class:`~repro.sim.environment.Environment` owns the event queue and clock.
+* Processes are plain Python generators that ``yield`` waitable objects.
+* :class:`~repro.sim.events.Event` is a one-shot event that processes can
+  wait on and that callers can *succeed* with a value.
+* :class:`~repro.sim.events.Timeout` suspends a process for a fixed amount of
+  simulated time.
+* :class:`~repro.sim.store.Store` is an unbounded FIFO channel used for
+  request/response queues between clients and the CSD.
+
+Determinism: events scheduled for the same timestamp fire in the order they
+were scheduled, so repeated runs of an experiment produce identical traces.
+"""
+
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+from repro.sim.store import Store
+from repro.sim.environment import Environment
+
+__all__ = ["Environment", "Event", "Timeout", "Process", "Store"]

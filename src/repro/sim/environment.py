@@ -1,0 +1,120 @@
+"""The simulation environment: clock plus event queue."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+
+class Environment:
+    """Owns the simulated clock and the pending-event queue.
+
+    Typical use::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(5.0)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 5.0 and proc.value == "done"
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # ------------------------------------------------------------------ #
+    # Factory helpers
+    # ------------------------------------------------------------------ #
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered one-shot event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Register a generator as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling / running
+    # ------------------------------------------------------------------ #
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue ``event`` for dispatch ``delay`` units in the future."""
+        if delay < 0:
+            raise SimulationError("cannot schedule an event in the past")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def step(self) -> None:
+        """Dispatch the next scheduled event, advancing the clock."""
+        if not self._queue:
+            raise SimulationError("no scheduled events to step through")
+        time, _seq, event = heapq.heappop(self._queue)
+        if time < self._now:  # pragma: no cover - defensive, cannot happen
+            raise SimulationError("event queue went backwards in time")
+        self._now = time
+        event._dispatch()
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next scheduled event, or ``None`` if idle."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain,
+        * a number — run until the clock reaches that time,
+        * an :class:`Event` — run until that event fires and return its value.
+        """
+        if isinstance(until, Event):
+            target_event = until
+            while not target_event.triggered:
+                if not self._queue:
+                    raise SimulationError(
+                        f"simulation ran out of events before {target_event.name!r} fired"
+                    )
+                self.step()
+            if target_event.exception is not None:
+                raise target_event.exception
+            return target_event.value
+
+        if until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError("cannot run until a time in the past")
+            while self._queue and self._queue[0][0] <= deadline:
+                self.step()
+            self._now = deadline
+            return None
+
+        while self._queue:
+            self.step()
+        return None

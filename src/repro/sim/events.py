@@ -1,0 +1,157 @@
+"""Waitable primitives used by simulation processes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.environment import Environment
+
+
+class Event:
+    """A one-shot event that carries a value once it has been triggered.
+
+    Processes wait on an event by ``yield``-ing it.  Any other process (or
+    plain callback code) triggers it exactly once with :meth:`succeed` or
+    :meth:`fail`.  Waiting processes are resumed at the simulated time the
+    event was triggered.
+    """
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self._triggered = False
+        self._dispatched = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already been succeeded or failed."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """Value the event was succeeded with (``None`` until triggered)."""
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """Exception the event was failed with, if any."""
+        return self._exception
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event with ``value`` and schedule waiter wake-ups."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} has already been triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} has already been triggered")
+        self._triggered = True
+        self._exception = exception
+        self.env._schedule_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event fires.
+
+        If the event already fired, the callback runs when the scheduler
+        dispatches the event (events are delivered via the event queue, never
+        synchronously, to keep ordering deterministic).  If the event has
+        already been dispatched the callback is re-scheduled so late waiters
+        are still woken.
+        """
+        self._callbacks.append(callback)
+        if self._dispatched:
+            self.env._schedule_event(self)
+
+    def _dispatch(self) -> None:
+        self._dispatched = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state} at t={self.env.now:.3f}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units in the future."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(env, name=f"timeout({delay})")
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule_event(self, delay=delay)
+
+
+class AllOf(Event):
+    """Composite event that fires when every child event has fired."""
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        super().__init__(env, name=f"all_of({len(events)})")
+        self._pending = 0
+        self._results: List[Any] = [None] * len(events)
+        if not events:
+            self.succeed([])
+            return
+        for index, event in enumerate(events):
+            if event.triggered and event._exception is None:
+                self._results[index] = event.value
+                continue
+            self._pending += 1
+            event.add_callback(self._make_child_callback(index))
+        if self._pending == 0:
+            self.succeed(list(self._results))
+
+    def _make_child_callback(self, index: int) -> Callable[[Event], None]:
+        def _on_child(event: Event) -> None:
+            if self.triggered:
+                return
+            if event.exception is not None:
+                self.fail(event.exception)
+                return
+            self._results[index] = event.value
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed(list(self._results))
+
+        return _on_child
+
+
+class AnyOf(Event):
+    """Composite event that fires as soon as one child event has fired."""
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        super().__init__(env, name=f"any_of({len(events)})")
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in events:
+            if event.triggered:
+                if event.exception is not None:
+                    self.fail(event.exception)
+                else:
+                    self.succeed(event.value)
+                return
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.exception is not None:
+            self.fail(event.exception)
+        else:
+            self.succeed(event.value)

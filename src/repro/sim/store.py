@@ -1,0 +1,58 @@
+"""FIFO message store used as a request/response channel between processes."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.environment import Environment
+
+
+class Store:
+    """Unbounded FIFO of items with event-based ``get``.
+
+    ``put`` never blocks (capacity is unbounded, matching an HTTP request
+    queue).  ``get`` returns an :class:`Event` that fires with the next item;
+    if an item is already available the event fires immediately (still via
+    the event queue, preserving deterministic ordering).
+    """
+
+    def __init__(self, env: "Environment", name: str = "store") -> None:
+        self.env = env
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking the oldest waiting getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next available item."""
+        event = Event(self.env, name=f"{self.name}.get")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Pop and return the next item immediately, or ``None`` if empty."""
+        if self._items:
+            return self._items.popleft()
+        return None

@@ -1,0 +1,28 @@
+"""Storage-tiering cost analysis (Sections 2.1 and 3.1 of the paper).
+
+The paper motivates the cold storage tier with an acquisition-cost analysis
+of a 100 TB database under different tiering strategies (Table 1, Figure 2)
+and shows the savings of replacing the capacity + archival tiers with a
+CSD-based cold storage tier at several CSD price points (Figure 3).  This
+package reproduces those numbers exactly from the published $/GB figures.
+"""
+
+from repro.tiering.devices import DeviceClass, DeviceSpec, STANDARD_DEVICES
+from repro.tiering.configurations import (
+    CSD_PRICE_POINTS,
+    TieringConfiguration,
+    csd_configuration,
+    standard_configurations,
+)
+from repro.tiering.cost_model import TieringCostModel
+
+__all__ = [
+    "CSD_PRICE_POINTS",
+    "DeviceClass",
+    "DeviceSpec",
+    "STANDARD_DEVICES",
+    "TieringConfiguration",
+    "TieringCostModel",
+    "csd_configuration",
+    "standard_configurations",
+]

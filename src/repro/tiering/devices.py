@@ -1,0 +1,81 @@
+"""Storage device classes and their published cost/performance figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.exceptions import ConfigurationError
+
+
+class DeviceClass(Enum):
+    """The device classes appearing in the paper's tiering analysis."""
+
+    SSD = "ssd"
+    SCSI_15K = "15k-hdd"
+    SATA_7K = "7.2k-hdd"
+    TAPE = "tape"
+    CSD = "csd"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Cost and latency characteristics of one device class.
+
+    ``cost_per_gb`` values for SSD / 15k HDD / SATA / tape come from the
+    analyst study the paper cites (Table 1); access latencies are order-of-
+    magnitude figures used for documentation and sanity checks rather than
+    simulation (the CSD's behaviour is modelled in :mod:`repro.csd`).
+    """
+
+    device_class: DeviceClass
+    cost_per_gb: float
+    typical_access_latency_seconds: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cost_per_gb < 0:
+            raise ConfigurationError("cost_per_gb must be non-negative")
+        if self.typical_access_latency_seconds < 0:
+            raise ConfigurationError("access latency must be non-negative")
+
+    def cost_for(self, gigabytes: float) -> float:
+        """Acquisition cost of storing ``gigabytes`` on this device class."""
+        if gigabytes < 0:
+            raise ConfigurationError("capacity must be non-negative")
+        return self.cost_per_gb * gigabytes
+
+
+#: Published per-GB acquisition costs (Table 1) plus representative latencies.
+STANDARD_DEVICES = {
+    DeviceClass.SSD: DeviceSpec(
+        DeviceClass.SSD, cost_per_gb=75.0, typical_access_latency_seconds=1e-4,
+        description="Performance tier flash",
+    ),
+    DeviceClass.SCSI_15K: DeviceSpec(
+        DeviceClass.SCSI_15K, cost_per_gb=13.5, typical_access_latency_seconds=5e-3,
+        description="Performance tier 15k-RPM SCSI HDD",
+    ),
+    DeviceClass.SATA_7K: DeviceSpec(
+        DeviceClass.SATA_7K, cost_per_gb=4.5, typical_access_latency_seconds=1.2e-2,
+        description="Capacity tier 7.2k-RPM SATA HDD",
+    ),
+    DeviceClass.TAPE: DeviceSpec(
+        DeviceClass.TAPE, cost_per_gb=0.2, typical_access_latency_seconds=120.0,
+        description="Archival tier robotic tape library",
+    ),
+    DeviceClass.CSD: DeviceSpec(
+        DeviceClass.CSD, cost_per_gb=0.1, typical_access_latency_seconds=10.0,
+        description="Cold storage device (MAID rack of SMR disks)",
+    ),
+}
+
+
+def csd_spec(cost_per_gb: float) -> DeviceSpec:
+    """A CSD spec at an arbitrary price point (the paper uses 1 / 0.2 / 0.1 $/GB)."""
+    return DeviceSpec(
+        DeviceClass.CSD,
+        cost_per_gb=cost_per_gb,
+        typical_access_latency_seconds=10.0,
+        description=f"Cold storage device at ${cost_per_gb}/GB",
+    )

@@ -1,0 +1,32 @@
+"""Synthetic workloads used in the paper's evaluation.
+
+Four benchmark suites are modelled:
+
+* :mod:`repro.workloads.tpch` — a TPC-H-like schema and data generator with
+  the queries the paper runs (Q1, Q3, Q5, Q6, Q12).
+* :mod:`repro.workloads.ssb` — a Star Schema Benchmark-like suite (Q1.1,
+  Q2.1, Q3.1).
+* :mod:`repro.workloads.mrbench` — the "analytics benchmark" of Pavlo et al.
+  (rankings/uservisits join task).
+* :mod:`repro.workloads.nref` — a protein-database workload in the spirit of
+  the NREF benchmark (4-table join counting sequences matching a criterion).
+
+Data is generated deterministically from a seed.  Segment counts are scaled
+to mirror the paper's object counts (e.g. TPC-H Q12 at "SF-50" touches ~57
+one-gigabyte objects) while row counts stay small enough to execute real
+joins quickly; the cost model — not the Python row count — is what converts
+work into simulated seconds.
+"""
+
+from repro.workloads.datagen import DataGenerator, TableProfile, ScaleProfile
+from repro.workloads import tpch, ssb, mrbench, nref
+
+__all__ = [
+    "DataGenerator",
+    "ScaleProfile",
+    "TableProfile",
+    "mrbench",
+    "nref",
+    "ssb",
+    "tpch",
+]

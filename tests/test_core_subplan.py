@@ -1,0 +1,134 @@
+"""Unit tests for subplan enumeration and tracking."""
+
+import pytest
+
+from repro.core.subplan import SubplanTracker, enumerate_subplans
+from repro.exceptions import QueryError
+from repro.workloads import tpch
+
+
+@pytest.fixture()
+def q12_tracker(tiny_tpch_catalog):
+    return SubplanTracker(tpch.q12(), tiny_tpch_catalog)
+
+
+class TestEnumeration:
+    def test_table2_example(self):
+        """The paper's Table 2: 2 x 2 x 2 segments -> 8 subplans."""
+        subplans = enumerate_subplans(
+            {"A": ["A.1", "A.2"], "B": ["B.1", "B.2"], "C": ["C.1", "C.3"]}
+        )
+        assert len(subplans) == 8
+        assert ("A.1", "B.1", "C.1") in subplans
+        assert ("A.2", "B.2", "C.3") in subplans
+        assert len(set(subplans)) == 8
+
+    def test_total_is_product_of_segment_counts(self, tiny_tpch_catalog, q12_tracker):
+        expected = tiny_tpch_catalog.num_segments("orders") * tiny_tpch_catalog.num_segments(
+            "lineitem"
+        )
+        assert q12_tracker.total_subplans == expected
+        assert q12_tracker.num_pending == expected
+
+    def test_q5_subplans_product(self, tiny_tpch_catalog):
+        tracker = SubplanTracker(tpch.q5(), tiny_tpch_catalog)
+        expected = 1
+        for table in tpch.q5().tables:
+            expected *= tiny_tpch_catalog.num_segments(table)
+        assert tracker.total_subplans == expected
+
+    def test_table_order_must_cover_query(self, tiny_tpch_catalog):
+        with pytest.raises(QueryError):
+            SubplanTracker(tpch.q12(), tiny_tpch_catalog, table_order=["orders"])
+
+
+class TestTrackerTransitions:
+    def test_mark_executed_moves_state(self, q12_tracker):
+        subplan = q12_tracker.pending_subplans()[0]
+        q12_tracker.mark_executed(subplan)
+        assert q12_tracker.num_executed == 1
+        assert not q12_tracker.is_pending(subplan)
+        with pytest.raises(QueryError):
+            q12_tracker.mark_executed(subplan)
+
+    def test_pending_count_for_object(self, tiny_tpch_catalog, q12_tracker):
+        lineitem_segments = tiny_tpch_catalog.num_segments("lineitem")
+        orders_segments = tiny_tpch_catalog.num_segments("orders")
+        assert q12_tracker.pending_count_for("orders.0") == lineitem_segments
+        assert q12_tracker.pending_count_for("lineitem.0") == orders_segments
+        assert q12_tracker.pending_count_for("unknown.0") == 0
+
+    def test_prune_object_discards_its_subplans(self, tiny_tpch_catalog, q12_tracker):
+        before = q12_tracker.num_pending
+        pruned = q12_tracker.prune_object("lineitem.0")
+        assert len(pruned) == tiny_tpch_catalog.num_segments("orders")
+        assert q12_tracker.num_pending == before - len(pruned)
+        assert q12_tracker.num_pruned == len(pruned)
+        assert q12_tracker.pending_count_for("lineitem.0") == 0
+
+    def test_objects_needed_shrinks_as_subplans_finish(self, q12_tracker):
+        assert "lineitem.0" in q12_tracker.objects_needed()
+        q12_tracker.prune_object("lineitem.0")
+        assert "lineitem.0" not in q12_tracker.objects_needed()
+
+    def test_has_pending_goes_false_when_everything_handled(self, tiny_tpch_catalog):
+        tracker = SubplanTracker(tpch.q12(), tiny_tpch_catalog)
+        for segment_id in tiny_tpch_catalog.segment_ids("lineitem"):
+            tracker.prune_object(segment_id)
+        assert not tracker.has_pending()
+        assert tracker.num_pending == 0
+
+
+class TestRunnableComputation:
+    def test_newly_runnable_requires_full_coverage(self, q12_tracker):
+        runnable = q12_tracker.newly_runnable({"orders.0"}, "lineitem.0")
+        assert len(runnable) == 1
+        assert set(runnable[0].segments) == {"orders.0", "lineitem.0"}
+        assert q12_tracker.newly_runnable(set(), "lineitem.0") == []
+
+    def test_newly_runnable_excludes_executed(self, q12_tracker):
+        runnable = q12_tracker.newly_runnable({"orders.0"}, "lineitem.0")
+        q12_tracker.mark_executed(runnable[0])
+        assert q12_tracker.newly_runnable({"orders.0"}, "lineitem.0") == []
+
+    def test_executable_counts_match_paper_example(self):
+        """Recreate the worked example of Section 4.2.
+
+        Cache = (A.1, B.1, A.2, C.3), arrivals already executed
+        <A.1,B.1,C.3> and <A.2,B.1,C.3>, new object C.1.  Executable counts
+        must be 1 for A.1 and A.2, 2 for B.1 and 0 for C.3, so the maximal
+        progress policy evicts C.3.
+        """
+        from repro.engine import Catalog, Column, DataType, Relation, TableSchema
+        from repro.engine.query import AggregateSpec, JoinCondition, Query
+
+        catalog = Catalog()
+        specs = {"a": ("a_key", 2), "b": ("b_key", 2), "c": ("c_key", 2)}
+        for table, (column, segments) in specs.items():
+            schema = TableSchema(table, [Column(column, DataType.INTEGER)])
+            rows = [{column: index} for index in range(segments)]
+            catalog.register(Relation.from_rows(schema, rows, rows_per_segment=1))
+        query = Query(
+            name="abc",
+            tables=["a", "b", "c"],
+            joins=[
+                JoinCondition("a", "a_key", "b", "b_key"),
+                JoinCondition("b", "b_key", "c", "c_key"),
+            ],
+            group_by=[],
+            aggregates=[AggregateSpec("count", None, "cnt")],
+        )
+        tracker = SubplanTracker(query, catalog, table_order=["a", "b", "c"])
+        # Map the paper's names onto segment ids: X.1 -> x.0, X.2/X.3 -> x.1.
+        executed = [("a.0", "b.0", "c.1"), ("a.1", "b.0", "c.1")]
+        for combination in executed:
+            for subplan in tracker.pending_subplans():
+                if set(subplan.segments) == set(combination):
+                    tracker.mark_executed(subplan)
+                    break
+        cache = {"a.0", "b.0", "a.1", "c.1"}
+        counts = tracker.executable_counts(cache, "c.0")
+        assert counts["a.0"] == 1
+        assert counts["a.1"] == 1
+        assert counts["b.0"] == 2
+        assert counts["c.1"] == 0

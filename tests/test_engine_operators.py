@@ -1,0 +1,200 @@
+"""Unit tests for the physical operators."""
+
+import pytest
+
+from repro.engine import Column, DataType, Relation, TableSchema
+from repro.engine.operators import (
+    AggregateState,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    Limit,
+    Project,
+    SegmentScan,
+    SequentialScan,
+    Sort,
+)
+from repro.engine.operators.hash_join import merge_rows
+from repro.engine.predicate import col, eq, ge, lit
+from repro.engine.query import AggregateSpec
+from repro.exceptions import ExecutionError, QueryError
+
+
+@pytest.fixture()
+def numbers_relation() -> Relation:
+    schema = TableSchema(
+        "numbers", [Column("n", DataType.INTEGER), Column("parity", DataType.STRING)]
+    )
+    rows = [{"n": index, "parity": "even" if index % 2 == 0 else "odd"} for index in range(10)]
+    return Relation.from_rows(schema, rows, rows_per_segment=4)
+
+
+class TestScans:
+    def test_sequential_scan_returns_all_rows(self, numbers_relation):
+        scan = SequentialScan(numbers_relation)
+        assert len(scan.rows()) == 10
+        assert scan.stats.tuples_scanned == 10
+
+    def test_sequential_scan_with_predicate(self, numbers_relation):
+        scan = SequentialScan(numbers_relation, predicate=eq("parity", "even"))
+        rows = scan.rows()
+        assert [row["n"] for row in rows] == [0, 2, 4, 6, 8]
+        assert scan.stats.tuples_scanned == 10
+        assert scan.stats.tuples_output == 5
+
+    def test_sequential_scan_subset_of_segments(self, numbers_relation):
+        scan = SequentialScan(numbers_relation, segments=[1])
+        assert [row["n"] for row in scan.rows()] == [4, 5, 6, 7]
+
+    def test_segment_scan(self, numbers_relation):
+        scan = SegmentScan(numbers_relation.segment(0), predicate=ge("n", 2))
+        assert [row["n"] for row in scan.rows()] == [2, 3]
+
+
+class TestFilterProjectLimitSort:
+    def test_filter(self, numbers_relation):
+        operator = Filter(SequentialScan(numbers_relation), ge("n", 7))
+        assert [row["n"] for row in operator.rows()] == [7, 8, 9]
+
+    def test_project_columns_and_expressions(self, numbers_relation):
+        operator = Project(
+            SequentialScan(numbers_relation),
+            columns=["parity"],
+            expressions={"n_squared": col("n")},
+        )
+        first = operator.rows()[0]
+        assert set(first) == {"parity", "n_squared"}
+
+    def test_project_requires_output(self, numbers_relation):
+        with pytest.raises(QueryError):
+            Project(SequentialScan(numbers_relation))
+
+    def test_limit(self, numbers_relation):
+        operator = Limit(SequentialScan(numbers_relation), 3)
+        assert len(operator.rows()) == 3
+        with pytest.raises(QueryError):
+            Limit(SequentialScan(numbers_relation), 0)
+
+    def test_sort(self, numbers_relation):
+        operator = Sort(SequentialScan(numbers_relation), ["n"], descending=True)
+        assert [row["n"] for row in operator.rows()][:3] == [9, 8, 7]
+
+
+class TestHashJoin:
+    def _relations(self):
+        left_schema = TableSchema(
+            "left_t", [Column("lk", DataType.INTEGER), Column("lv", DataType.STRING)]
+        )
+        right_schema = TableSchema(
+            "right_t", [Column("rk", DataType.INTEGER), Column("rv", DataType.STRING)]
+        )
+        left = Relation.from_rows(
+            left_schema, [{"lk": i % 3, "lv": f"L{i}"} for i in range(6)], 3
+        )
+        right = Relation.from_rows(
+            right_schema, [{"rk": i, "rv": f"R{i}"} for i in range(3)], 3
+        )
+        return left, right
+
+    def test_join_produces_all_matches(self):
+        left, right = self._relations()
+        join = HashJoin(
+            build=SequentialScan(right),
+            probe=SequentialScan(left),
+            build_keys=["rk"],
+            probe_keys=["lk"],
+        )
+        rows = join.rows()
+        assert len(rows) == 6
+        assert all(row["rk"] == row["lk"] for row in rows)
+        assert join.stats.tuples_built == 3
+        assert join.stats.tuples_probed == 6
+        assert join.stats.tuples_output == 6
+
+    def test_join_with_no_matches(self):
+        left, right = self._relations()
+        join = HashJoin(
+            build=Filter(SequentialScan(right), eq("rk", 999)),
+            probe=SequentialScan(left),
+            build_keys=["rk"],
+            probe_keys=["lk"],
+        )
+        assert join.rows() == []
+
+    def test_key_lists_must_match(self):
+        left, right = self._relations()
+        with pytest.raises(ExecutionError):
+            HashJoin(SequentialScan(right), SequentialScan(left), ["rk"], [])
+
+    def test_merge_rows_detects_conflicts(self):
+        assert merge_rows({"a": 1}, {"b": 2}) == {"a": 1, "b": 2}
+        assert merge_rows({"a": 1}, {"a": 1, "b": 2}) == {"a": 1, "b": 2}
+        with pytest.raises(ExecutionError):
+            merge_rows({"a": 1}, {"a": 2})
+
+
+class TestAggregation:
+    def test_hash_aggregate_group_by(self, numbers_relation):
+        operator = HashAggregate(
+            SequentialScan(numbers_relation),
+            group_by=["parity"],
+            aggregates=[
+                AggregateSpec("count", None, "cnt"),
+                AggregateSpec("sum", col("n"), "total"),
+                AggregateSpec("min", col("n"), "smallest"),
+                AggregateSpec("max", col("n"), "largest"),
+                AggregateSpec("avg", col("n"), "average"),
+            ],
+        )
+        rows = {row["parity"]: row for row in operator.rows()}
+        assert rows["even"]["cnt"] == 5
+        assert rows["even"]["total"] == 20
+        assert rows["odd"]["smallest"] == 1
+        assert rows["odd"]["largest"] == 9
+        assert rows["even"]["average"] == pytest.approx(4.0)
+
+    def test_aggregate_without_group_by_produces_one_row(self, numbers_relation):
+        operator = HashAggregate(
+            SequentialScan(numbers_relation),
+            group_by=[],
+            aggregates=[AggregateSpec("sum", col("n"), "total")],
+        )
+        rows = operator.rows()
+        assert len(rows) == 1
+        assert rows[0]["total"] == 45
+
+    def test_aggregate_state_is_order_insensitive(self, numbers_relation):
+        rows = list(SequentialScan(numbers_relation).rows())
+        forward = AggregateState(["parity"], [AggregateSpec("sum", col("n"), "total")])
+        backward = AggregateState(["parity"], [AggregateSpec("sum", col("n"), "total")])
+        forward.add_all(rows)
+        backward.add_all(list(reversed(rows)))
+        key = lambda row: row["parity"]
+        assert sorted(forward.results(), key=key) == sorted(backward.results(), key=key)
+
+    def test_aggregate_state_incremental_batches(self, numbers_relation):
+        rows = list(SequentialScan(numbers_relation).rows())
+        state = AggregateState([], [AggregateSpec("count", None, "cnt")])
+        state.add_all(rows[:3])
+        state.add_all(rows[3:])
+        assert state.results()[0]["cnt"] == 10
+        assert state.num_groups == 1
+
+    def test_sum_of_null_raises(self):
+        state = AggregateState([], [AggregateSpec("sum", col("x"), "s")])
+        with pytest.raises(ExecutionError):
+            state.add({"x": None})
+
+    def test_avg_of_empty_group_is_none(self):
+        state = AggregateState([], [AggregateSpec("avg", col("x"), "a")])
+        assert state.results() == []
+
+
+class TestStatsCollection:
+    def test_collect_stats_aggregates_children(self, numbers_relation):
+        scan = SequentialScan(numbers_relation)
+        operator = Limit(Filter(scan, ge("n", 0)), 5)
+        operator.rows()
+        combined = operator.collect_stats()
+        assert combined.tuples_scanned >= 10
+        assert combined.total() > 0

@@ -1,0 +1,142 @@
+"""Integration tests: Skipper and vanilla executors running against the CSD."""
+
+import pytest
+
+from repro.core import SkipperExecutor
+from repro.core.cache import LRUEviction
+from repro.csd import (
+    ClientsPerGroupLayout,
+    ColdStorageDevice,
+    DeviceConfig,
+    ObjectFCFSScheduler,
+    ObjectStore,
+    RankBasedScheduler,
+)
+from repro.engine import CostModel, InMemoryExecutor
+from repro.engine.executor import canonical_rows
+from repro.sim import Environment
+from repro.vanilla import VanillaExecutor
+from repro.workloads import tpch
+
+
+def _expected(catalog, query):
+    return canonical_rows(InMemoryExecutor(catalog).execute(query).rows)
+
+
+class TestSkipperExecutorOnCSD:
+    @pytest.mark.parametrize("query_name", ["q1", "q6", "q12", "q5"])
+    def test_results_match_in_memory(self, tiny_tpch_catalog, make_rig, query_name):
+        query = tpch.query(query_name)
+        rig = make_rig(tiny_tpch_catalog, query.tables)
+        result = rig.run_skipper(query, cache_capacity=8)
+        assert canonical_rows(result.rows) == _expected(tiny_tpch_catalog, query)
+
+    def test_small_cache_still_correct_but_costlier(self, tiny_tpch_catalog, make_rig):
+        query = tpch.q12()
+        rig_small = make_rig(tiny_tpch_catalog, query.tables)
+        small = rig_small.run_skipper(query, cache_capacity=2)
+        rig_large = make_rig(tiny_tpch_catalog, query.tables)
+        large = rig_large.run_skipper(query, cache_capacity=20)
+        assert canonical_rows(small.rows) == canonical_rows(large.rows)
+        assert small.num_requests > large.num_requests
+        assert small.execution_time > large.execution_time
+        assert small.num_evictions > 0
+        assert large.num_evictions == 0
+
+    def test_metrics_are_consistent(self, tiny_tpch_catalog, make_rig):
+        query = tpch.q12()
+        rig = make_rig(tiny_tpch_catalog, query.tables)
+        result = rig.run_skipper(query, cache_capacity=6)
+        assert result.end_time >= result.start_time
+        assert result.processing_time <= result.execution_time
+        assert result.waiting_time <= result.execution_time
+        assert result.subplans_executed + result.subplans_pruned == result.subplans_total
+        assert result.num_cycles >= 1
+
+    def test_deterministic_across_runs(self, tiny_tpch_catalog, make_rig):
+        query = tpch.q12()
+        first = make_rig(tiny_tpch_catalog, query.tables).run_skipper(query, cache_capacity=4)
+        second = make_rig(tiny_tpch_catalog, query.tables).run_skipper(query, cache_capacity=4)
+        assert first.execution_time == pytest.approx(second.execution_time)
+        assert first.num_requests == second.num_requests
+
+    def test_lru_policy_also_correct_with_roomy_cache(self, tiny_tpch_catalog, make_rig):
+        query = tpch.q12()
+        rig = make_rig(tiny_tpch_catalog, query.tables)
+        result = rig.run_skipper(query, cache_capacity=6, eviction_policy=LRUEviction())
+        assert canonical_rows(result.rows) == _expected(tiny_tpch_catalog, query)
+
+
+class TestVanillaExecutorOnCSD:
+    def _run_vanilla(self, catalog, query, scheduler=None, config=None):
+        env = Environment()
+        store = ObjectStore()
+        keys = []
+        for table in query.tables:
+            keys.extend(
+                store.put_segment("tenant", segment.segment_id, segment)
+                for segment in catalog.relation(table).segments
+            )
+        layout = ClientsPerGroupLayout(1).build({"tenant": keys})
+        device = ColdStorageDevice(
+            env,
+            store,
+            layout,
+            scheduler or ObjectFCFSScheduler(),
+            config or DeviceConfig(group_switch_seconds=5.0, transfer_seconds_per_object=1.0),
+        )
+        executor = VanillaExecutor(env, "tenant", catalog, device, cost_model=CostModel())
+        process = env.process(executor.execute(query))
+        env.run(until=process)
+        return process.value, device
+
+    @pytest.mark.parametrize("query_name", ["q1", "q12", "q5"])
+    def test_results_match_in_memory(self, tiny_tpch_catalog, query_name):
+        query = tpch.query(query_name)
+        result, _device = self._run_vanilla(tiny_tpch_catalog, query)
+        assert canonical_rows(result.rows) == _expected(tiny_tpch_catalog, query)
+
+    def test_requests_follow_plan_access_order(self, tiny_tpch_catalog):
+        query = tpch.q12()
+        result, device = self._run_vanilla(tiny_tpch_catalog, query)
+        served = [
+            interval.object_key.split("/", 1)[1]
+            for interval in device.busy_intervals
+            if interval.kind == "transfer"
+        ]
+        from repro.engine import Planner
+
+        expected_order = Planner(tiny_tpch_catalog).plan(query).segment_access_order(
+            tiny_tpch_catalog
+        )
+        assert served == expected_order
+        assert result.num_requests == len(expected_order)
+
+    def test_single_tenant_needs_one_switch(self, tiny_tpch_catalog):
+        query = tpch.q12()
+        _result, device = self._run_vanilla(tiny_tpch_catalog, query)
+        assert device.stats.group_switches == 1
+
+    def test_skipper_beats_vanilla_under_contention(self, tiny_tpch_catalog):
+        """Two tenants on two groups: Skipper's batched access wins."""
+        from repro.cluster import ClientSpec, Cluster, ClusterConfig
+
+        query = tpch.q12()
+        device_config = DeviceConfig(group_switch_seconds=10.0, transfer_seconds_per_object=1.0)
+
+        def run(mode, scheduler):
+            specs = [
+                ClientSpec(client_id=f"c{i}", queries=[query], mode=mode, cache_capacity=10)
+                for i in range(2)
+            ]
+            config = ClusterConfig(
+                client_specs=specs,
+                layout_policy=ClientsPerGroupLayout(1),
+                device_config=device_config,
+            )
+            return Cluster(tiny_tpch_catalog, config, scheduler=scheduler).run()
+
+        vanilla = run("vanilla", ObjectFCFSScheduler())
+        skipper = run("skipper", RankBasedScheduler())
+        assert skipper.average_execution_time() < vanilla.average_execution_time()
+        assert skipper.device_switches < vanilla.device_switches

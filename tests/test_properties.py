@@ -1,0 +1,193 @@
+"""Property-based tests for the core data structures and invariants.
+
+The headline invariant: Skipper's out-of-order, cache-constrained execution
+produces exactly the same answer as an in-memory execution, for *any* arrival
+order and any (feasible) cache size.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.cache import (
+    FIFOEviction,
+    LRUEviction,
+    MaxPendingSubplansEviction,
+    MaxProgressEviction,
+    ObjectCache,
+)
+from repro.core.mjoin import MJoinStateManager
+from repro.core.subplan import SubplanTracker
+from repro.csd.layout import ClientsPerGroupLayout, IncrementalLayout
+from repro.csd.ordering import SemanticRoundRobinOrdering
+from repro.csd.request import GetRequest
+from repro.csd.scheduler import RankBasedScheduler
+from repro.engine import InMemoryExecutor
+from repro.engine.executor import canonical_rows
+from repro.engine.operators.aggregate import AggregateState
+from repro.engine.predicate import col
+from repro.engine.query import AggregateSpec
+from repro.sim import Environment
+from repro.workloads import tpch
+
+# A single module-level catalog keeps data generation out of the hypothesis
+# hot loop (the catalog is never mutated by the tests).
+_CATALOG = tpch.build_catalog("tiny", seed=42)
+_Q12 = tpch.q12()
+_EXPECTED_Q12 = canonical_rows(InMemoryExecutor(_CATALOG).execute(_Q12).rows)
+_Q12_OBJECTS = _CATALOG.segment_ids("orders") + _CATALOG.segment_ids("lineitem")
+
+
+@st.composite
+def arrival_orders(draw):
+    """A permutation of all objects Q12 needs."""
+    return draw(st.permutations(_Q12_OBJECTS))
+
+
+class TestMJoinInvariants:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(order=arrival_orders(), cache_capacity=st.integers(min_value=2, max_value=12))
+    def test_any_arrival_order_any_cache_size_gives_the_same_answer(self, order, cache_capacity):
+        cache = ObjectCache(cache_capacity, policy=MaxProgressEviction())
+        manager = MJoinStateManager(_Q12, _CATALOG, cache)
+        pending_requests = list(order)
+        while pending_requests:
+            for segment_id in pending_requests:
+                manager.on_arrival(segment_id, _CATALOG.resolve_segment_id(segment_id))
+            pending_requests = manager.next_cycle_requests()
+        assert canonical_rows(manager.results()) == _EXPECTED_Q12
+        assert manager.is_complete()
+
+    @settings(max_examples=15, deadline=None)
+    @given(order=arrival_orders())
+    def test_every_subplan_is_executed_or_pruned_exactly_once(self, order):
+        cache = ObjectCache(4, policy=MaxProgressEviction())
+        manager = MJoinStateManager(_Q12, _CATALOG, cache)
+        executed_total = 0
+        pruned_total = 0
+        pending_requests = list(order)
+        while pending_requests:
+            for segment_id in pending_requests:
+                outcome = manager.on_arrival(segment_id, _CATALOG.resolve_segment_id(segment_id))
+                executed_total += outcome.executed_subplans
+                pruned_total += outcome.pruned_subplans
+            pending_requests = manager.next_cycle_requests()
+        assert executed_total + pruned_total == manager.tracker.total_subplans
+        assert executed_total == manager.tracker.num_executed
+        assert pruned_total == manager.tracker.num_pruned
+        assert manager.tracker.num_pending == 0
+
+
+class TestCacheInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        arrivals=st.lists(st.sampled_from(_Q12_OBJECTS), min_size=1, max_size=40, unique=True),
+        policy=st.sampled_from(
+            [MaxProgressEviction(), MaxPendingSubplansEviction(), LRUEviction(), FIFOEviction()]
+        ),
+    )
+    def test_cache_never_exceeds_capacity_and_victims_are_cached(self, capacity, arrivals, policy):
+        tracker = SubplanTracker(_Q12, _CATALOG)
+        cache = ObjectCache(capacity, policy=policy)
+        for segment_id in arrivals:
+            if segment_id in cache:
+                continue
+            if cache.is_full:
+                victim = cache.evict(segment_id, tracker)
+                assert victim not in cache
+            cache.add(segment_id, segment_id)
+            assert len(cache) <= capacity
+        assert cache.num_insertions == len({a for a in arrivals})
+
+
+class TestAggregateInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(-1000, 1000)),
+            min_size=1,
+            max_size=60,
+        ),
+        split=st.integers(min_value=0, max_value=60),
+    )
+    def test_incremental_aggregation_matches_single_pass(self, values, split):
+        rows = [{"g": group, "v": value} for group, value in values]
+        specs = [
+            AggregateSpec("count", None, "cnt"),
+            AggregateSpec("sum", col("v"), "total"),
+            AggregateSpec("min", col("v"), "low"),
+            AggregateSpec("max", col("v"), "high"),
+            AggregateSpec("avg", col("v"), "mean"),
+        ]
+        one_pass = AggregateState(["g"], specs)
+        one_pass.add_all(rows)
+        split = min(split, len(rows))
+        two_pass = AggregateState(["g"], specs)
+        two_pass.add_all(rows[:split])
+        two_pass.add_all(rows[split:])
+        key = lambda row: row["g"]
+        assert sorted(one_pass.results(), key=key) == sorted(two_pass.results(), key=key)
+
+
+class TestSchedulerInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        groups=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=30),
+        switches=st.lists(st.integers(min_value=0, max_value=4), max_size=10),
+    )
+    def test_rank_is_at_least_query_count_and_waiting_is_non_negative(self, groups, switches):
+        env = Environment()
+        scheduler = RankBasedScheduler()
+        for index, group in enumerate(groups):
+            request = GetRequest(f"c{index}/t.{index}", f"c{index}", f"q{index}", env.event())
+            scheduler.add_request(request, group)
+        for group in switches:
+            scheduler.notify_switch(group)
+        for group in scheduler.pending_groups():
+            assert scheduler.rank(group) >= len(scheduler.queries_on_group(group))
+        for query_id in scheduler.pending_queries():
+            assert scheduler.waiting_time(query_id) >= 0
+        chosen = scheduler.choose_next_group(None)
+        assert chosen in scheduler.pending_groups()
+        best_rank = max(scheduler.rank(group) for group in scheduler.pending_groups())
+        assert scheduler.rank(chosen) == pytest.approx(best_rank)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        keys=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=0, max_value=9),
+                st.sampled_from(["q0", "q1"]),
+            ),
+            min_size=1,
+            max_size=25,
+            unique=True,
+        )
+    )
+    def test_semantic_ordering_is_a_permutation(self, keys):
+        env = Environment()
+        requests = [
+            GetRequest(f"c/{table}.{index}", "c", query, env.event())
+            for table, index, query in keys
+        ]
+        ordered = SemanticRoundRobinOrdering().order(requests)
+        assert sorted(r.request_id for r in ordered) == sorted(r.request_id for r in requests)
+
+
+class TestLayoutInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_clients=st.integers(min_value=1, max_value=6),
+        num_objects=st.integers(min_value=1, max_value=15),
+        clients_per_group=st.integers(min_value=1, max_value=3),
+    )
+    def test_group_count_bounds(self, num_clients, num_objects, clients_per_group):
+        clients = {
+            f"c{c}": [f"c{c}/t.{i}" for i in range(num_objects)] for c in range(num_clients)
+        }
+        layout = ClientsPerGroupLayout(clients_per_group).build(clients)
+        expected_groups = -(-num_clients // clients_per_group)  # ceil division
+        assert layout.num_groups == expected_groups
+        incremental = IncrementalLayout().build(clients)
+        assert incremental.num_groups <= num_clients

@@ -1,0 +1,111 @@
+"""Unit tests for the simulation environment (clock, scheduling, run modes)."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import Environment
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment().now == 0.0
+    assert Environment(initial_time=7.5).now == 7.5
+
+
+def test_run_until_time_stops_clock_at_deadline():
+    env = Environment()
+    fired = []
+
+    def proc(env):
+        yield env.timeout(10)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=4.0)
+    assert env.now == 4.0
+    assert fired == []
+    env.run()
+    assert fired == [10.0]
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2)
+        return "done"
+
+    process = env.process(proc(env))
+    value = env.run(until=process)
+    assert value == "done"
+    assert env.now == pytest.approx(2.0)
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_step_without_events_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() is None
+    env.timeout(3.0)
+    assert env.peek() == pytest.approx(3.0)
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    env = Environment()
+    order = []
+
+    def proc(env, label):
+        yield env.timeout(1.0)
+        order.append(label)
+
+    for label in ("a", "b", "c"):
+        env.process(proc(env, label))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_yielding_non_event_fails_the_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    process = env.process(bad(env))
+    env.run()
+    assert isinstance(process.exception, SimulationError)
+
+
+def test_run_until_event_that_never_fires_raises():
+    env = Environment()
+    never = env.event("never")
+    with pytest.raises(SimulationError):
+        env.run(until=never)
+
+
+def test_simulation_is_deterministic():
+    def build_and_run():
+        env = Environment()
+        trace = []
+
+        def worker(env, label, delay):
+            yield env.timeout(delay)
+            trace.append((label, env.now))
+            yield env.timeout(delay)
+            trace.append((label, env.now))
+
+        env.process(worker(env, "x", 2))
+        env.process(worker(env, "y", 2))
+        env.process(worker(env, "z", 3))
+        env.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,181 @@
+"""Unit tests for the simulation primitives (events, timeouts, stores)."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import Environment, Store
+
+
+def test_event_succeed_carries_value():
+    env = Environment()
+    event = env.event("e")
+    event.succeed(41)
+    assert event.triggered
+    assert event.value == 41
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event("e")
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+    with pytest.raises(SimulationError):
+        event.fail(RuntimeError("boom"))
+
+
+def test_timeout_rejects_negative_delay():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def process(env):
+        yield env.timeout(3.5)
+        return env.now
+
+    proc = env.process(process(env))
+    env.run()
+    assert env.now == pytest.approx(3.5)
+    assert proc.value == pytest.approx(3.5)
+
+
+def test_process_waits_on_event_and_receives_value():
+    env = Environment()
+    gate = env.event("gate")
+    observed = []
+
+    def waiter(env):
+        value = yield gate
+        observed.append((env.now, value))
+
+    def opener(env):
+        yield env.timeout(2)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert observed == [(2.0, "open")]
+
+
+def test_event_failure_propagates_into_process():
+    env = Environment()
+    gate = env.event("gate")
+
+    def waiter(env):
+        yield gate
+
+    def failer(env):
+        yield env.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    waiter_proc = env.process(waiter(env))
+    env.process(failer(env))
+    env.run()
+    assert isinstance(waiter_proc.exception, ValueError)
+
+
+def test_process_waiting_on_process_gets_return_value():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(1)
+        return "inner-result"
+
+    def outer(env):
+        result = yield env.process(inner(env))
+        return result
+
+    outer_proc = env.process(outer(env))
+    env.run()
+    assert outer_proc.value == "inner-result"
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def make(delay, value):
+        def proc(env):
+            yield env.timeout(delay)
+            return value
+
+        return env.process(proc(env))
+
+    processes = [make(3, "a"), make(1, "b"), make(2, "c")]
+
+    def waiter(env):
+        values = yield env.all_of(processes)
+        return values
+
+    waiter_proc = env.process(waiter(env))
+    env.run()
+    assert waiter_proc.value == ["a", "b", "c"]
+    assert env.now == pytest.approx(3.0)
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+
+    def make(delay, value):
+        def proc(env):
+            yield env.timeout(delay)
+            return value
+
+        return env.process(proc(env))
+
+    def waiter(env):
+        value = yield env.any_of([make(5, "slow"), make(1, "fast")])
+        return (env.now, value)
+
+    waiter_proc = env.process(waiter(env))
+    env.run()
+    assert waiter_proc.value == (1.0, "fast")
+
+
+def test_store_fifo_ordering():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    def producer(env):
+        for index in range(3):
+            yield env.timeout(1)
+            store.put(index)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert received == [0, 1, 2]
+
+
+def test_store_try_get_returns_none_when_empty():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+    store.put("x")
+    assert store.try_get() == "x"
+    assert store.try_get() is None
+
+
+def test_store_get_before_put_resolves_on_put():
+    env = Environment()
+    store = Store(env)
+    results = []
+
+    def consumer(env):
+        item = yield store.get()
+        results.append((env.now, item))
+
+    env.process(consumer(env))
+    store.put("ready")
+    env.run()
+    assert results == [(0.0, "ready")]
