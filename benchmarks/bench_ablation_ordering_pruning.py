@@ -15,6 +15,7 @@ import pytest
 from repro.harness import experiments, format_table
 
 
+@pytest.mark.smoke
 @pytest.mark.benchmark(group="ablation-ordering")
 def test_ablation_intra_group_ordering(benchmark, bench_once):
     result = bench_once(benchmark, experiments.ablation_intra_group_ordering)
@@ -41,6 +42,7 @@ def test_ablation_intra_group_ordering(benchmark, bench_once):
     assert math.isfinite(result["semantic-round-robin"]["avg_time"])
 
 
+@pytest.mark.smoke
 @pytest.mark.benchmark(group="ablation-pruning")
 def test_ablation_subplan_pruning(benchmark, bench_once):
     result = bench_once(benchmark, experiments.ablation_subplan_pruning)

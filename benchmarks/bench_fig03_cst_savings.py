@@ -10,6 +10,7 @@ import pytest
 from repro.harness import experiments, format_table
 
 
+@pytest.mark.smoke
 @pytest.mark.benchmark(group="fig03")
 def test_figure3_cst_savings(benchmark, bench_once):
     rows = bench_once(benchmark, experiments.figure3_cst_savings)

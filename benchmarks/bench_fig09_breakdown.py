@@ -10,6 +10,7 @@ import pytest
 from repro.harness import experiments, format_table
 
 
+@pytest.mark.smoke
 @pytest.mark.benchmark(group="fig09")
 def test_figure9_breakdown(benchmark, bench_once):
     result = bench_once(benchmark, experiments.figure9_breakdown, num_clients=5)

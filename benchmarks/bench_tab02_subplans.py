@@ -9,6 +9,7 @@ import pytest
 from repro.harness import experiments, format_table
 
 
+@pytest.mark.smoke
 @pytest.mark.benchmark(group="tab02")
 def test_table2_subplan_example(benchmark, bench_once):
     result = bench_once(benchmark, experiments.table2_subplan_example)

@@ -12,6 +12,7 @@ import pytest
 from repro.harness import experiments, format_table
 
 
+@pytest.mark.smoke
 @pytest.mark.benchmark(group="tab03")
 def test_table3_component_breakdown(benchmark, bench_once):
     result = bench_once(benchmark, experiments.table3_component_breakdown)

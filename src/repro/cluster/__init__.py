@@ -15,8 +15,11 @@ from repro.cluster.cluster import Cluster, ClusterConfig, ClusterResult
 from repro.cluster.metrics import (
     ExecutionBreakdown,
     attribute_waiting,
+    jain_fairness,
     l2_norm,
     max_stretch,
+    merge_intervals,
+    percentile,
     stretches,
 )
 
@@ -28,7 +31,10 @@ __all__ = [
     "DatabaseClient",
     "ExecutionBreakdown",
     "attribute_waiting",
+    "jain_fairness",
     "l2_norm",
     "max_stretch",
+    "merge_intervals",
+    "percentile",
     "stretches",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
@@ -42,8 +43,13 @@ class ClientSpec:
             raise ConfigurationError("repetitions must be positive")
         if not self.queries:
             raise ConfigurationError(f"client {self.client_id!r} has no queries to run")
-        if self.start_delay < 0:
-            raise ConfigurationError("start_delay must be non-negative")
+        if self.mode == MODE_SKIPPER and self.cache_capacity <= 0:
+            raise ConfigurationError(
+                f"client {self.client_id!r}: cache_capacity must be positive, "
+                f"got {self.cache_capacity}"
+            )
+        if not math.isfinite(self.start_delay) or self.start_delay < 0:
+            raise ConfigurationError("start_delay must be finite and non-negative")
 
 
 class DatabaseClient:

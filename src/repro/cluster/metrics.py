@@ -51,6 +51,28 @@ def _overlap(a_start: float, a_end: float, b_start: float, b_end: float) -> floa
     return max(0.0, min(a_end, b_end) - max(a_start, b_start))
 
 
+def merge_intervals(intervals: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Union of a collection of closed intervals as disjoint, sorted spans.
+
+    Overlapping or touching intervals are coalesced so that downstream
+    accounting never double-counts the same stretch of simulated time.
+    """
+    cleaned: List[Tuple[float, float]] = []
+    for start, end in intervals:
+        if end < start:
+            raise ConfigurationError("blocked interval ends before it starts")
+        if end > start:
+            cleaned.append((start, end))
+    cleaned.sort()
+    merged: List[Tuple[float, float]] = []
+    for start, end in cleaned:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
 def attribute_waiting(
     blocked_intervals: Sequence[Tuple[float, float]],
     busy_intervals: Sequence[BusyInterval],
@@ -62,6 +84,8 @@ def attribute_waiting(
     group switch counts as switch wait; any part during which it was
     transferring an object (for any tenant) counts as transfer wait; whatever
     is left (device idle, queueing artefacts) is reported as ``other_wait``.
+    Blocked intervals are unioned first, so overlapping or duplicated
+    intervals are counted once.
     """
     switch_wait = 0.0
     transfer_wait = 0.0
@@ -69,9 +93,7 @@ def attribute_waiting(
     relevant = [
         interval for interval in busy_intervals if interval.end > 0 and interval.duration > 0
     ]
-    for start, end in blocked_intervals:
-        if end < start:
-            raise ConfigurationError("blocked interval ends before it starts")
+    for start, end in merge_intervals(blocked_intervals):
         total_blocked += end - start
         for busy in relevant:
             overlap = _overlap(start, end, busy.start, busy.end)
@@ -116,3 +138,45 @@ def mean(values: Iterable[float]) -> float:
     if not values:
         return 0.0
     return sum(values) / len(values)
+
+
+def percentile(values: Iterable[float], fraction: float) -> float:
+    """Linear-interpolation percentile of ``values`` (``fraction`` in [0, 1]).
+
+    Deterministic and dependency-free, matching numpy's default
+    ("linear") method; used for the latency distributions in scenario
+    reports.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("percentile fraction must be between 0 and 1")
+    ordered = sorted(values)
+    if not ordered:
+        raise ConfigurationError("percentile requires at least one value")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def jain_fairness(values: Iterable[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n · Σx²)``.
+
+    1.0 means perfectly even allocation across clients; 1/n means a single
+    client got everything.  An all-zero allocation is reported as perfectly
+    fair (1.0).
+    """
+    values = list(values)
+    if not values:
+        raise ConfigurationError("jain_fairness requires at least one value")
+    if any(value < 0 for value in values):
+        raise ConfigurationError("jain_fairness requires non-negative values")
+    square_sum = sum(value * value for value in values)
+    if square_sum == 0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)

@@ -123,6 +123,9 @@ class ObjectCache:
         self.num_insertions = 0
         self.num_evictions = 0
         self.num_hits = 0
+        #: Highest occupancy ever reached (the invariant checker verifies
+        #: that this never exceeds ``capacity``).
+        self.peak_occupancy = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -178,6 +181,7 @@ class ObjectCache:
             num_rows=num_rows,
         )
         self.num_insertions += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._contents))
 
     def evict(self, new_object: str, tracker: SubplanTracker) -> str:
         """Choose and remove a victim to make room for ``new_object``."""

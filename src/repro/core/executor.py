@@ -42,6 +42,10 @@ class SkipperQueryResult:
     subplans_pruned: int
     stats: OperatorStats
     blocked_intervals: List[Tuple[float, float]] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_insertions: int = 0
+    cache_peak_occupancy: int = 0
+    cache_capacity: int = 0
 
     @property
     def execution_time(self) -> float:
@@ -159,6 +163,10 @@ class SkipperExecutor:
             subplans_pruned=state.tracker.num_pruned,
             stats=state.stats,
             blocked_intervals=blocked,
+            cache_hits=cache.num_hits,
+            cache_insertions=cache.num_insertions,
+            cache_peak_occupancy=cache.peak_occupancy,
+            cache_capacity=cache.capacity,
         )
 
     def _cpu_time(self, stats: OperatorStats) -> float:

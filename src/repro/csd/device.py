@@ -15,6 +15,7 @@ Table 3 of the paper.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -22,7 +23,7 @@ from repro.csd.disk_group import DiskGroupLayout
 from repro.csd.object_store import ObjectStore
 from repro.csd.request import GetRequest
 from repro.csd.scheduler import IOScheduler
-from repro.exceptions import StorageError
+from repro.exceptions import ConfigurationError, StorageError
 from repro.sim import Environment, Store
 
 
@@ -42,10 +43,13 @@ class DeviceConfig:
     concurrent_transfers: bool = False
 
     def __post_init__(self) -> None:
-        if self.group_switch_seconds < 0:
-            raise StorageError("group_switch_seconds must be non-negative")
-        if self.transfer_seconds_per_object < 0:
-            raise StorageError("transfer_seconds_per_object must be non-negative")
+        if not math.isfinite(self.group_switch_seconds) or self.group_switch_seconds < 0:
+            raise ConfigurationError("group_switch_seconds must be finite and non-negative")
+        if (
+            not math.isfinite(self.transfer_seconds_per_object)
+            or self.transfer_seconds_per_object < 0
+        ):
+            raise ConfigurationError("transfer_seconds_per_object must be finite and non-negative")
 
 
 @dataclass(frozen=True)

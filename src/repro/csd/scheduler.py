@@ -46,6 +46,9 @@ class IOScheduler:
         #: Request id of the first request ever seen per query (arrival order).
         self._query_arrival: Dict[str, int] = {}
         self.num_switches = 0
+        #: Largest waiting counter any query ever reached (starvation gauge:
+        #: the invariant checker bounds this for the rank-based policy).
+        self.max_waiting_seen = 0
 
     # ------------------------------------------------------------------ #
     # Request pool management
@@ -114,7 +117,10 @@ class IOScheduler:
             if query_id in serviced:
                 self._waiting[query_id] = 0
             else:
-                self._waiting[query_id] = self._waiting.get(query_id, 0) + 1
+                waited = self._waiting.get(query_id, 0) + 1
+                self._waiting[query_id] = waited
+                if waited > self.max_waiting_seen:
+                    self.max_waiting_seen = waited
 
     # ------------------------------------------------------------------ #
     # Policy hooks

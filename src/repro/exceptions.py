@@ -54,3 +54,15 @@ class CacheError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid experiment or cost-model configuration."""
+
+
+class ScenarioError(ConfigurationError):
+    """Raised for unknown or malformed scenario specifications."""
+
+
+class InvariantViolation(ReproError):
+    """Raised when a scenario run breaks a cross-cutting system invariant."""
+
+
+class GoldenMismatchError(ReproError):
+    """Raised when a scenario report diverges from its committed golden file."""

@@ -1,0 +1,101 @@
+"""``python -m repro.scenarios`` — run scenarios and manage golden metrics.
+
+Examples::
+
+    python -m repro.scenarios --list
+    python -m repro.scenarios --run bursty
+    python -m repro.scenarios --check
+    python -m repro.scenarios --regen-golden
+    python -m repro.scenarios --regen-golden uniform mixed-fleet
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.scenarios.golden import assert_matches_golden, write_golden
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.scenarios.runner import ScenarioRunner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run declarative multi-tenant scenarios and manage their "
+        "golden-metrics files.",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--list", action="store_true", help="list registered scenarios")
+    group.add_argument(
+        "--run", metavar="NAME", help="run one scenario and print its canonical report"
+    )
+    group.add_argument(
+        "--check",
+        action="store_true",
+        help="run every scenario and diff it against its committed golden",
+    )
+    group.add_argument(
+        "--regen-golden",
+        nargs="*",
+        metavar="NAME",
+        default=None,
+        help="regenerate golden files (all scenarios when no names are given)",
+    )
+    parser.add_argument(
+        "--golden-dir",
+        type=Path,
+        default=None,
+        help="override the golden directory (default: tests/golden)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    runner = ScenarioRunner()
+
+    if arguments.list:
+        for name in scenario_names():
+            spec = get_scenario(name)
+            print(f"{name:28s} {spec.description}")
+        return 0
+
+    if arguments.run is not None:
+        report = runner.run(get_scenario(arguments.run))
+        print(report.to_json(), end="")
+        return 0
+
+    if arguments.check:
+        failures = 0
+        for name in scenario_names():
+            # Keep checking the remaining scenarios whatever one of them
+            # raises (invariant violation, cache livelock, ...), so CI shows
+            # the full per-scenario picture instead of the first error.
+            try:
+                report = runner.run(get_scenario(name))
+                assert_matches_golden(report, golden_dir=arguments.golden_dir)
+            except ReproError as error:
+                failures += 1
+                print(f"FAIL {name}\n{error}", file=sys.stderr)
+            else:
+                print(f"ok   {name}")
+        return 1 if failures else 0
+
+    names = arguments.regen_golden or scenario_names()
+    for name in names:
+        report = runner.run(get_scenario(name))
+        path = write_golden(report, golden_dir=arguments.golden_dir)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        sys.exit(2)

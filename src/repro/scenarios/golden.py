@@ -1,0 +1,119 @@
+"""Golden-metrics harness.
+
+Every registered scenario has a committed golden file under
+``tests/golden/<name>.json`` holding the canonical report of a blessed run.
+The pytest layer re-runs each scenario and diffs the live report against the
+golden with numeric tolerances, turning the whole paper reproduction into a
+regression-tested scenario suite.
+
+Regenerate goldens after an intentional behaviour change with::
+
+    python -m repro.scenarios --regen-golden
+
+and commit the diff together with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import GoldenMismatchError
+from repro.scenarios.report import ScenarioReport
+
+#: Relative tolerance for float comparisons.  The simulator is exactly
+#: deterministic, so this only absorbs float-formatting differences across
+#: Python versions, not real drift.
+DEFAULT_RTOL = 1e-6
+DEFAULT_ATOL = 1e-9
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden`` at the repository root (next to ``src/``)."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def golden_path(name: str, golden_dir: Optional[Path] = None) -> Path:
+    """Path of the golden file for scenario ``name``."""
+    return (golden_dir or default_golden_dir()) / f"{name}.json"
+
+
+def write_golden(report: ScenarioReport, golden_dir: Optional[Path] = None) -> Path:
+    """Serialize ``report`` as the golden file for its scenario."""
+    path = golden_path(report.scenario, golden_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(report.to_json())
+    return path
+
+
+def load_golden(name: str, golden_dir: Optional[Path] = None) -> Dict[str, Any]:
+    """Load the committed golden metrics for scenario ``name``."""
+    path = golden_path(name, golden_dir)
+    if not path.exists():
+        raise GoldenMismatchError(
+            f"no golden file for scenario {name!r} at {path}; run "
+            f"'python -m repro.scenarios --regen-golden {name}' and commit it"
+        )
+    return json.loads(path.read_text())
+
+
+def diff_values(
+    live: Any,
+    golden: Any,
+    path: str = "$",
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+) -> List[str]:
+    """Recursively diff two report trees; return human-readable mismatches.
+
+    Numbers are compared with relative/absolute tolerance, everything else
+    exactly.  The returned strings name the JSON path of each divergence so a
+    regression points straight at the metric that moved.
+    """
+    mismatches: List[str] = []
+    numeric = (int, float)
+    if isinstance(live, bool) or isinstance(golden, bool):
+        if live != golden:
+            mismatches.append(f"{path}: live={live!r} golden={golden!r}")
+    elif isinstance(live, numeric) and isinstance(golden, numeric):
+        if not math.isclose(float(live), float(golden), rel_tol=rtol, abs_tol=atol):
+            mismatches.append(f"{path}: live={live!r} golden={golden!r}")
+    elif isinstance(live, dict) and isinstance(golden, dict):
+        for key in sorted(set(live) | set(golden)):
+            if key not in live:
+                mismatches.append(f"{path}.{key}: missing from live report")
+            elif key not in golden:
+                mismatches.append(f"{path}.{key}: not present in golden")
+            else:
+                mismatches.extend(diff_values(live[key], golden[key], f"{path}.{key}", rtol, atol))
+    elif isinstance(live, list) and isinstance(golden, list):
+        if len(live) != len(golden):
+            mismatches.append(f"{path}: length {len(live)} != golden {len(golden)}")
+        for index, (live_item, golden_item) in enumerate(zip(live, golden)):
+            mismatches.extend(
+                diff_values(live_item, golden_item, f"{path}[{index}]", rtol, atol)
+            )
+    elif live != golden:
+        mismatches.append(f"{path}: live={live!r} golden={golden!r}")
+    return mismatches
+
+
+def assert_matches_golden(
+    report: ScenarioReport,
+    golden_dir: Optional[Path] = None,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+) -> None:
+    """Raise :class:`GoldenMismatchError` if ``report`` diverges from its golden."""
+    golden = load_golden(report.scenario, golden_dir)
+    mismatches = diff_values(report.to_dict(), golden, rtol=rtol, atol=atol)
+    if mismatches:
+        details = "\n  ".join(mismatches[:20])
+        raise GoldenMismatchError(
+            f"scenario {report.scenario!r} diverged from its golden metrics "
+            f"({len(mismatches)} mismatch(es)):\n  {details}\n"
+            "If the change is intentional, regenerate with "
+            f"'python -m repro.scenarios --regen-golden {report.scenario}'"
+        )

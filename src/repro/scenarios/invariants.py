@@ -1,0 +1,173 @@
+"""Cross-cutting invariants checked after every scenario run.
+
+The scenario engine is a regression net for the whole reproduction, so every
+run — regardless of which scenario — is validated against properties that
+must hold for *any* configuration:
+
+* **Conservation** — every GET issued by a client is served exactly once:
+  the device's served-object counter, its per-client counters, its transfer
+  busy-intervals and the clients' request counters all agree.
+* **Bounded starvation** — under the rank-based policy with fairness
+  constant K > 0, no query's waiting counter (group switches since it was
+  last serviced) ever exceeds a bound derived from the group/query counts;
+  efficiency-first policies offer no such guarantee.
+* **Monotone clock** — device busy intervals are well-formed, finish in
+  non-decreasing completion order and never extend past the end of the
+  simulation; every query finishes no earlier than it starts.
+* **Cache bounds** — no Skipper client's cache ever held more objects than
+  its configured capacity.
+
+A violated invariant raises :class:`~repro.exceptions.InvariantViolation`;
+the list of checks that ran is recorded in the scenario report so golden
+files document what was validated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.cluster.cluster import Cluster, ClusterResult
+from repro.core.executor import SkipperQueryResult
+from repro.csd.scheduler import RankBasedScheduler
+from repro.exceptions import InvariantViolation
+
+
+def starvation_bound(num_groups: int, num_queries: int, fairness_constant: float) -> int:
+    """Max group switches a query may wait under the rank-based policy.
+
+    A group with a waiting query gains at least K rank per switch it is
+    passed over, while any competing group's rank is reset when serviced and
+    can never exceed ``num_queries`` plus its own accumulated waiting.  The
+    waiting counters of at most ``num_groups`` groups can leapfrog each other
+    before the starving group's rank dominates, giving the (conservative)
+    bound ``num_groups * (1 + ceil(num_queries / K))``.
+    """
+    if fairness_constant <= 0:
+        raise InvariantViolation("starvation bound undefined for K <= 0")
+    return num_groups * (1 + math.ceil(num_queries / fairness_constant))
+
+
+def check_conservation(cluster: Cluster, result: ClusterResult) -> None:
+    """Objects-served conservation across device, scheduler and clients."""
+    issued = sum(
+        query_result.num_requests
+        for results in result.results_by_client.values()
+        for query_result in results
+    )
+    served = cluster.device.stats.objects_served
+    received = cluster.device.stats.requests_received
+    transfers = sum(
+        1 for interval in cluster.device.busy_intervals if interval.kind == "transfer"
+    )
+    per_client_total = sum(cluster.device.stats.objects_per_client.values())
+    if not issued == served == received == transfers == per_client_total:
+        raise InvariantViolation(
+            "objects-served conservation broken: "
+            f"issued={issued} served={served} received={received} "
+            f"transfers={transfers} per_client_total={per_client_total}"
+        )
+    if cluster.scheduler.has_pending():
+        raise InvariantViolation("scheduler still has pending requests after the run")
+    for interval in cluster.device.busy_intervals:
+        if interval.kind != "transfer":
+            continue
+        expected_group = cluster.layout.group_of(interval.object_key)
+        if interval.group_id != expected_group:
+            raise InvariantViolation(
+                f"object {interval.object_key!r} was served from group "
+                f"{interval.group_id} but the layout places it on {expected_group}"
+            )
+
+
+def check_no_starvation(cluster: Cluster, result: ClusterResult) -> bool:
+    """Bounded waiting under the rank-based policy (skipped otherwise)."""
+    scheduler = cluster.scheduler
+    if not isinstance(scheduler, RankBasedScheduler) or scheduler.fairness_constant <= 0:
+        return False
+    num_groups = max(1, cluster.layout.num_groups)
+    num_queries = max(
+        1,
+        sum(
+            len(spec.queries) * spec.repetitions
+            for spec in result.config.client_specs
+        ),
+    )
+    bound = starvation_bound(num_groups, num_queries, scheduler.fairness_constant)
+    if scheduler.max_waiting_seen > bound:
+        raise InvariantViolation(
+            f"rank-based scheduler (K={scheduler.fairness_constant}) let a query "
+            f"wait {scheduler.max_waiting_seen} switches, above the starvation "
+            f"bound {bound} for {num_groups} groups / {num_queries} queries"
+        )
+    return True
+
+
+def check_monotone_clock(cluster: Cluster, result: ClusterResult) -> None:
+    """Busy intervals and query timestamps respect the simulated clock."""
+    previous_end = 0.0
+    for interval in cluster.device.busy_intervals:
+        if interval.end < interval.start:
+            raise InvariantViolation(
+                f"busy interval ends before it starts: {interval!r}"
+            )
+        if interval.end < previous_end:
+            raise InvariantViolation(
+                "device busy intervals completed out of order: "
+                f"{interval.end} after {previous_end}"
+            )
+        previous_end = interval.end
+    if previous_end > result.total_simulated_time:
+        raise InvariantViolation(
+            f"device was busy until {previous_end}, after the simulation "
+            f"ended at {result.total_simulated_time}"
+        )
+    for client_id, query_results in result.results_by_client.items():
+        previous_query_end = 0.0
+        for query_result in query_results:
+            if query_result.end_time < query_result.start_time:
+                raise InvariantViolation(
+                    f"client {client_id!r}: query {query_result.query_name!r} "
+                    "ended before it started"
+                )
+            if query_result.start_time < previous_query_end:
+                raise InvariantViolation(
+                    f"client {client_id!r}: queries overlap in time "
+                    "(clients run queries sequentially)"
+                )
+            previous_query_end = query_result.end_time
+            for start, end in query_result.blocked_intervals:
+                if end < start or start < query_result.start_time or end > query_result.end_time:
+                    raise InvariantViolation(
+                        f"client {client_id!r}: blocked interval ({start}, {end}) "
+                        "outside the query's execution window"
+                    )
+
+
+def check_cache_bounds(result: ClusterResult) -> bool:
+    """No Skipper cache ever exceeded its configured capacity."""
+    saw_skipper = False
+    for client_id, query_results in result.results_by_client.items():
+        for query_result in query_results:
+            if not isinstance(query_result, SkipperQueryResult):
+                continue
+            saw_skipper = True
+            if query_result.cache_peak_occupancy > query_result.cache_capacity:
+                raise InvariantViolation(
+                    f"client {client_id!r}: cache held "
+                    f"{query_result.cache_peak_occupancy} objects, above its "
+                    f"capacity of {query_result.cache_capacity}"
+                )
+    return saw_skipper
+
+
+def check_invariants(cluster: Cluster, result: ClusterResult) -> List[str]:
+    """Run every applicable invariant; return the names of those checked."""
+    checked = ["conservation", "monotone-clock"]
+    check_conservation(cluster, result)
+    check_monotone_clock(cluster, result)
+    if check_no_starvation(cluster, result):
+        checked.append("no-starvation")
+    if check_cache_bounds(result):
+        checked.append("cache-bounds")
+    return checked

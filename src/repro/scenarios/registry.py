@@ -1,0 +1,220 @@
+"""The named-scenario registry.
+
+Each entry is a zero-argument builder returning a fresh
+:class:`~repro.scenarios.spec.ScenarioSpec`.  Scenarios cover workload
+shapes well beyond the paper's figures — bursty arrivals, skewed tenants,
+degraded devices, mixed fleets — and every one of them is pinned by a
+golden-metrics file under ``tests/golden/``.
+
+To add a scenario: decorate a builder with :func:`register`, run
+``python -m repro.scenarios --regen-golden <name>`` and commit the new
+golden file together with the builder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.arrivals import BurstyArrival, PoissonArrival, UniformArrival
+from repro.scenarios.spec import ScenarioSpec, TenantSpec, uniform_tenants
+
+ScenarioBuilder = Callable[[], ScenarioSpec]
+
+_REGISTRY: Dict[str, ScenarioBuilder] = {}
+
+
+def register(builder: ScenarioBuilder) -> ScenarioBuilder:
+    """Register a scenario builder under the name of the spec it returns."""
+    spec = builder()
+    if spec.name in _REGISTRY:
+        raise ScenarioError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = builder
+    return builder
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of all registered scenarios."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Build a fresh spec for the scenario registered under ``name``."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {', '.join(scenario_names())}"
+        ) from None
+    return builder()
+
+
+def all_scenarios() -> List[ScenarioSpec]:
+    """Fresh specs for every registered scenario, in name order."""
+    return [get_scenario(name) for name in scenario_names()]
+
+
+# --------------------------------------------------------------------------- #
+# Built-in scenarios
+# --------------------------------------------------------------------------- #
+@register
+def uniform_fleet() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="uniform",
+        description="Four identical Skipper tenants starting together — the "
+        "shape of the paper's headline figures.",
+        tenants=uniform_tenants(4, "tpch:q12", cache_capacity=8),
+        seed=42,
+    )
+
+
+@register
+def bursty_arrivals() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="bursty",
+        description="Six Skipper tenants arriving in three bursts of two with "
+        "seeded jitter; stresses admission-order effects in the scheduler.",
+        tenants=uniform_tenants(6, "tpch:q12", cache_capacity=8),
+        arrival=BurstyArrival(burst_size=2, burst_gap_seconds=120.0, jitter_seconds=5.0),
+        seed=42,
+    )
+
+
+@register
+def hot_tenant_skew() -> ScenarioSpec:
+    hot = TenantSpec(
+        tenant_id="hot", queries=("tpch:q12",), repetitions=5, cache_capacity=8
+    )
+    cold = tuple(
+        TenantSpec(tenant_id=f"cold{index}", queries=("tpch:q12",), cache_capacity=8)
+        for index in range(3)
+    )
+    return ScenarioSpec(
+        name="hot-tenant-skew",
+        description="One tenant issues 5x the load of the other three while "
+        "sharing a disk group with one of them; fairness under skew.",
+        tenants=(hot,) + cold,
+        layout="skewed",
+        layout_param=(2, 1, 1),
+        seed=42,
+    )
+
+
+@register
+def straggler_device() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="straggler-device",
+        description="A degraded CSD: 4x the group-switch latency and 2x the "
+        "per-object transfer time of the paper's device.",
+        tenants=uniform_tenants(3, "tpch:q12", cache_capacity=8),
+        switch_seconds=40.0,
+        transfer_seconds=19.2,
+        seed=42,
+    )
+
+
+@register
+def cache_starved() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="cache-starved",
+        description="Two Skipper tenants running the six-table Q5 with a "
+        "cache of exactly one object per joined relation; exercises eviction "
+        "and re-issue cycles.",
+        tenants=uniform_tenants(2, "tpch:q5", cache_capacity=6),
+        seed=42,
+    )
+
+
+@register
+def mixed_fleet() -> ScenarioSpec:
+    skippers = uniform_tenants(2, "tpch:q12", cache_capacity=8, prefix="skipper")
+    vanillas = uniform_tenants(2, "tpch:q12", mode="vanilla", prefix="vanilla")
+    return ScenarioSpec(
+        name="mixed-fleet",
+        description="Two Skipper and two vanilla tenants share the CSD; the "
+        "query-aware scheduler must cope with untagged pull-based traffic.",
+        tenants=skippers + vanillas,
+        seed=42,
+    )
+
+
+@register
+def large_fanout() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="large-fanout",
+        description="Eight Skipper tenants striped round-robin over four disk "
+        "groups — every group holds every tenant's data.",
+        tenants=uniform_tenants(8, "tpch:q12", cache_capacity=8),
+        layout="round-robin",
+        layout_param=(4,),
+        seed=42,
+    )
+
+
+@register
+def single_tenant_saturation() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="single-tenant-saturation",
+        description="One tenant saturates the device with three different "
+        "TPC-H queries repeated three times each.",
+        tenants=(
+            TenantSpec(
+                tenant_id="solo",
+                queries=("tpch:q1", "tpch:q6", "tpch:q12"),
+                repetitions=3,
+                cache_capacity=8,
+            ),
+        ),
+        seed=42,
+    )
+
+
+@register
+def fairness_adversarial() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fairness-adversarial",
+        description="The paper's fairness-adversarial setup: five staggered "
+        "tenants on a 2/2/1 skewed layout where efficiency-first policies "
+        "starve the lone tenant.",
+        tenants=uniform_tenants(5, "tpch:q12", repetitions=3, cache_capacity=8),
+        arrival=UniformArrival(gap_seconds=10.0),
+        layout="skewed",
+        layout_param=(2, 2, 1),
+        scheduler="rank-based",
+        scheduler_param=1.0,
+        seed=42,
+    )
+
+
+@register
+def dataset_scaleout() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="dataset-scaleout",
+        description="Three Skipper tenants on the larger 'small' dataset "
+        "(3x the objects of 'tiny') with a proportionally larger cache.",
+        tenants=uniform_tenants(3, "tpch:q12", cache_capacity=16),
+        scale="small",
+        seed=42,
+    )
+
+
+@register
+def multi_workload_mix() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="multi-workload-mix",
+        description="Four heterogeneous tenants (TPC-H, SSB, MR-bench, NREF) "
+        "arriving as a Poisson process — the paper's mixed workload plus "
+        "randomised arrivals.",
+        tenants=(
+            TenantSpec(tenant_id="tpch", queries=("tpch:q12",), cache_capacity=8),
+            TenantSpec(tenant_id="ssb", queries=("ssb:q1_1",), cache_capacity=8),
+            TenantSpec(
+                tenant_id="mrbench", queries=("mrbench:join_task",), cache_capacity=8
+            ),
+            TenantSpec(
+                tenant_id="nref", queries=("nref:sequence_count",), cache_capacity=8
+            ),
+        ),
+        arrival=PoissonArrival(mean_gap_seconds=30.0),
+        seed=42,
+    )

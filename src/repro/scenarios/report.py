@@ -1,0 +1,115 @@
+"""Canonical scenario reports.
+
+A :class:`ScenarioReport` condenses one scenario run into the metrics the
+regression harness tracks: per-client latency distributions, device switch
+counts, cache behaviour and a fairness index.  Serialization is canonical —
+keys sorted, floats rounded to a fixed precision — so that two runs of the
+same spec produce byte-identical JSON, which is what the golden-metrics
+harness diffs against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: Decimal places kept in serialized floats.  The simulation is exactly
+#: deterministic, so this only canonicalises repr noise, not real variance.
+FLOAT_PRECISION = 9
+
+
+def canonical(value: Any) -> Any:
+    """Recursively round floats and normalise containers for serialization."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        rounded = round(value, FLOAT_PRECISION)
+        return rounded + 0.0  # normalise -0.0 to 0.0
+    if isinstance(value, dict):
+        return {str(key): canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    return value
+
+
+@dataclass
+class ClientReport:
+    """Latency distribution and request counts of one tenant."""
+
+    mode: str
+    start_delay: float
+    queries_run: int
+    requests: int
+    total_time: float
+    mean_time: float
+    min_time: float
+    max_time: float
+    p50_time: float
+    p95_time: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "start_delay": self.start_delay,
+            "queries_run": self.queries_run,
+            "requests": self.requests,
+            "total_time": self.total_time,
+            "mean_time": self.mean_time,
+            "min_time": self.min_time,
+            "max_time": self.max_time,
+            "p50_time": self.p50_time,
+            "p95_time": self.p95_time,
+        }
+
+
+@dataclass
+class ScenarioReport:
+    """Everything one scenario run is measured by."""
+
+    scenario: str
+    seed: int
+    spec: Dict[str, Any]
+    clients: Dict[str, ClientReport]
+    device_switches: int
+    scheduler_switches: int
+    max_waiting_seen: int
+    objects_served: int
+    total_simulated_time: float
+    cumulative_time: float
+    mean_time: float
+    fairness_jain: float
+    breakdown: Dict[str, float]
+    cache: Dict[str, float]
+    invariants_checked: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical nested-dict form (deterministic for a given run)."""
+        return canonical(
+            {
+                "scenario": self.scenario,
+                "seed": self.seed,
+                "spec": self.spec,
+                "clients": {
+                    client_id: report.to_dict()
+                    for client_id, report in sorted(self.clients.items())
+                },
+                "cluster": {
+                    "device_switches": self.device_switches,
+                    "scheduler_switches": self.scheduler_switches,
+                    "max_waiting_seen": self.max_waiting_seen,
+                    "objects_served": self.objects_served,
+                    "total_simulated_time": self.total_simulated_time,
+                    "cumulative_time": self.cumulative_time,
+                    "mean_time": self.mean_time,
+                    "fairness_jain": self.fairness_jain,
+                },
+                "breakdown": self.breakdown,
+                "cache": self.cache,
+                "invariants_checked": sorted(self.invariants_checked),
+            }
+        )
+
+    def to_json(self) -> str:
+        """Byte-identical JSON for identical runs (sorted keys, fixed format)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"

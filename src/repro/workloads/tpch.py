@@ -216,12 +216,16 @@ def resolve_scale(scale: Union[str, ScaleProfile]) -> ScaleProfile:
 # --------------------------------------------------------------------------- #
 # Data generation
 # --------------------------------------------------------------------------- #
-def build_catalog(scale: Union[str, ScaleProfile] = "small", seed: int = 42) -> Catalog:
-    """Generate a TPC-H-like database and register it in a fresh catalog."""
+def build_catalog(
+    scale: Union[str, ScaleProfile] = "small",
+    seed: int = 42,
+    catalog: Optional[Catalog] = None,
+) -> Catalog:
+    """Generate a TPC-H-like database, optionally into an existing catalog."""
     profile = resolve_scale(scale)
     generator = DataGenerator(seed)
     schemas = _schemas()
-    catalog = Catalog()
+    catalog = catalog if catalog is not None else Catalog()
 
     region_rows = [
         {"r_regionkey": index, "r_name": REGION_NAMES[index % len(REGION_NAMES)]}

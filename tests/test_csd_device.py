@@ -11,7 +11,7 @@ from repro.csd import (
     ObjectFCFSScheduler,
     RankBasedScheduler,
 )
-from repro.exceptions import StorageError
+from repro.exceptions import ConfigurationError, StorageError
 from repro.sim import Environment
 
 
@@ -163,7 +163,11 @@ class TestDeviceConfigurations:
             device.get("c0/unknown.0", "c0", "q")
 
     def test_negative_config_rejected(self):
-        with pytest.raises(StorageError):
+        with pytest.raises(ConfigurationError):
             DeviceConfig(group_switch_seconds=-1.0)
-        with pytest.raises(StorageError):
+        with pytest.raises(ConfigurationError):
             DeviceConfig(transfer_seconds_per_object=-0.1)
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(group_switch_seconds=float("nan"))
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(transfer_seconds_per_object=float("inf"))

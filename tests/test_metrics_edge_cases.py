@@ -1,0 +1,196 @@
+"""Edge cases for :mod:`repro.cluster.metrics`.
+
+The scenario engine leans on these metrics for every golden file, so the
+corner cases — empty inputs, single queries, overlapping blocked intervals —
+get explicit coverage here.  The overlapping-interval tests pin the fix for
+a real double-counting bug: blocked intervals are unioned before being
+intersected with device busy time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.client import ClientSpec
+from repro.cluster.cluster import ClusterConfig, ClusterResult
+from repro.cluster.metrics import (
+    ExecutionBreakdown,
+    attribute_waiting,
+    jain_fairness,
+    max_stretch,
+    mean,
+    merge_intervals,
+    percentile,
+    stretches,
+)
+from repro.csd.device import BusyInterval
+from repro.exceptions import ConfigurationError
+from repro.workloads import tpch
+
+
+def switch(start, end, group=0):
+    return BusyInterval(start=start, end=end, kind="switch", group_id=group)
+
+
+def transfer(start, end, group=0):
+    return BusyInterval(
+        start=start, end=end, kind="transfer", group_id=group, client_id="c", query_id="q"
+    )
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_zero_length_intervals_dropped(self):
+        assert merge_intervals([(3.0, 3.0), (1.0, 2.0)]) == [(1.0, 2.0)]
+
+    def test_overlapping_and_nested_coalesce(self):
+        merged = merge_intervals([(0.0, 5.0), (1.0, 2.0), (4.0, 8.0), (10.0, 11.0)])
+        assert merged == [(0.0, 8.0), (10.0, 11.0)]
+
+    def test_touching_intervals_coalesce(self):
+        assert merge_intervals([(0.0, 1.0), (1.0, 2.0)]) == [(0.0, 2.0)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(5.0, 6.0), (0.0, 1.0)]) == [(0.0, 1.0), (5.0, 6.0)]
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_intervals([(2.0, 1.0)])
+
+
+class TestAttributeWaiting:
+    def test_empty_blocked_intervals(self):
+        breakdown = attribute_waiting([], [switch(0.0, 10.0)], processing_time=2.0)
+        assert breakdown.switch_wait == 0.0
+        assert breakdown.transfer_wait == 0.0
+        assert breakdown.other_wait == 0.0
+        assert breakdown.total == 2.0
+
+    def test_no_busy_intervals_all_other_wait(self):
+        breakdown = attribute_waiting([(0.0, 4.0)], [])
+        assert breakdown.other_wait == 4.0
+
+    def test_overlapping_blocked_intervals_counted_once(self):
+        """Duplicated/overlapping blocked intervals must not double-count."""
+        busy = [switch(0.0, 10.0)]
+        exact = attribute_waiting([(0.0, 10.0)], busy)
+        duplicated = attribute_waiting([(0.0, 10.0), (0.0, 10.0)], busy)
+        overlapping = attribute_waiting([(0.0, 6.0), (4.0, 10.0)], busy)
+        assert exact.switch_wait == 10.0
+        assert duplicated.switch_wait == exact.switch_wait
+        assert overlapping.switch_wait == exact.switch_wait
+        assert duplicated.total == exact.total
+
+    def test_split_attribution(self):
+        busy = [switch(0.0, 5.0), transfer(5.0, 8.0)]
+        breakdown = attribute_waiting([(2.0, 9.0)], busy)
+        assert breakdown.switch_wait == pytest.approx(3.0)
+        assert breakdown.transfer_wait == pytest.approx(3.0)
+        assert breakdown.other_wait == pytest.approx(1.0)
+
+    def test_inverted_blocked_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            attribute_waiting([(5.0, 1.0)], [])
+
+    def test_fractions_of_zero_total_are_zero(self):
+        breakdown = ExecutionBreakdown(0.0, 0.0, 0.0, 0.0)
+        assert breakdown.fractions() == {
+            "processing": 0.0,
+            "switch": 0.0,
+            "transfer": 0.0,
+            "other": 0.0,
+        }
+
+
+class TestClusterResultEdgeCases:
+    def _empty_result(self):
+        config = ClusterConfig(
+            client_specs=[
+                ClientSpec(client_id="c0", queries=[tpch.q12()], cache_capacity=8)
+            ]
+        )
+        return ClusterResult(
+            config=config,
+            results_by_client={"c0": []},
+            breakdowns_by_client={"c0": []},
+            device_switches=0,
+            device_objects_served=0,
+            total_simulated_time=0.0,
+        )
+
+    def test_empty_results_average_is_zero(self):
+        result = self._empty_result()
+        assert result.execution_times() == []
+        assert result.average_execution_time() == 0.0
+        assert result.cumulative_execution_time() == 0.0
+        assert result.total_get_requests() == 0
+
+    def test_empty_results_breakdown_is_zero(self):
+        breakdown = self._empty_result().average_breakdown()
+        assert breakdown.total == 0.0
+
+    def test_per_client_totals_with_empty_lists(self):
+        assert self._empty_result().per_client_totals() == {"c0": 0.0}
+
+
+class TestStretchMetrics:
+    def test_single_query_breakdown(self):
+        values = stretches([10.0], ideal_time=5.0)
+        assert values == [2.0]
+        assert max_stretch(values) == 2.0
+
+    def test_nonpositive_ideal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stretches([1.0], ideal_time=0.0)
+
+    def test_max_stretch_of_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_stretch([])
+
+    def test_mean_of_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_linear_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.5) == pytest.approx(2.5)
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+
+    def test_order_independent(self):
+        assert percentile([4.0, 1.0, 3.0, 2.0], 0.5) == percentile([1.0, 2.0, 3.0, 4.0], 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 0.5)
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 1.5)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], -0.1)
+
+
+class TestJainFairness:
+    def test_even_allocation_is_one(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_one_hot_allocation_is_one_over_n(self):
+        assert jain_fairness([9.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+
+    def test_all_zero_is_perfectly_fair(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jain_fairness([])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jain_fairness([1.0, -1.0])

@@ -1,0 +1,218 @@
+"""Scenario engine: registry, runner, invariants and golden metrics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.client import ClientSpec
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.csd.device import BusyInterval
+from repro.exceptions import GoldenMismatchError, InvariantViolation, ScenarioError
+from repro.scenarios import (
+    ScenarioRunner,
+    ScenarioSpec,
+    TenantSpec,
+    all_scenarios,
+    assert_matches_golden,
+    check_invariants,
+    get_scenario,
+    golden_path,
+    load_golden,
+    scenario_names,
+    uniform_tenants,
+)
+from repro.scenarios.golden import diff_values
+from repro.scenarios.invariants import check_conservation, check_monotone_clock
+from repro.scenarios.runner import build_layout, build_scheduler
+from repro.workloads import tpch
+
+RUNNER = ScenarioRunner()
+
+
+class TestRegistry:
+    def test_at_least_ten_scenarios_registered(self):
+        assert len(scenario_names()) >= 10
+
+    def test_required_scenario_families_present(self):
+        names = set(scenario_names())
+        assert {
+            "uniform",
+            "bursty",
+            "hot-tenant-skew",
+            "straggler-device",
+            "cache-starved",
+            "mixed-fleet",
+            "large-fanout",
+            "single-tenant-saturation",
+            "fairness-adversarial",
+            "dataset-scaleout",
+        } <= names
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ScenarioError):
+            get_scenario("no-such-scenario")
+
+    def test_builders_return_fresh_specs(self):
+        assert get_scenario("uniform") is not get_scenario("uniform")
+
+    def test_all_scenarios_lists_every_name(self):
+        assert [spec.name for spec in all_scenarios()] == scenario_names()
+
+
+class TestRunner:
+    @pytest.mark.parametrize("name", [*scenario_names()])
+    def test_scenario_matches_committed_golden(self, name):
+        """The regression net: live runs must match the committed goldens."""
+        report = RUNNER.run(get_scenario(name))
+        assert_matches_golden(report)
+
+    @pytest.mark.parametrize("name", [*scenario_names()])
+    def test_every_scenario_has_a_committed_golden(self, name):
+        assert golden_path(name).exists()
+
+    def test_reports_validate_core_invariants(self):
+        report = RUNNER.run(get_scenario("uniform"))
+        assert "conservation" in report.invariants_checked
+        assert "monotone-clock" in report.invariants_checked
+        assert "no-starvation" in report.invariants_checked
+        assert "cache-bounds" in report.invariants_checked
+
+    def test_report_json_is_canonical(self):
+        report = RUNNER.run(get_scenario("uniform"))
+        text = report.to_json()
+        assert text.endswith("\n")
+        parsed = json.loads(text)
+        assert json.dumps(parsed, sort_keys=True, indent=2) + "\n" == text
+
+    def test_vanilla_tenants_skip_cache_invariant(self):
+        spec = ScenarioSpec(
+            name="all-vanilla",
+            description="only pull-based tenants",
+            tenants=uniform_tenants(2, "tpch:q12", mode="vanilla"),
+        )
+        report = RUNNER.run(spec)
+        assert "cache-bounds" not in report.invariants_checked
+        assert report.cache["hits"] == 0.0
+
+    def test_layout_and_scheduler_resolution_errors(self):
+        base = dict(
+            description="x", tenants=uniform_tenants(2, "tpch:q12", cache_capacity=8)
+        )
+        with pytest.raises(ScenarioError):
+            build_layout(ScenarioSpec(name="bad", layout="round-robin", **base))
+        with pytest.raises(ScenarioError):
+            build_layout(ScenarioSpec(name="bad", layout="skewed", **base))
+        spec = ScenarioSpec(name="ok", scheduler="slack-fcfs", scheduler_param=4, **base)
+        assert build_scheduler(spec).slack == 4
+
+
+class TestGoldenDiff:
+    def test_diff_reports_numeric_drift(self):
+        report = RUNNER.run(get_scenario("uniform"))
+        golden = load_golden("uniform")
+        live = report.to_dict()
+        live["cluster"]["device_switches"] += 1
+        mismatches = diff_values(live, golden)
+        assert any("device_switches" in mismatch for mismatch in mismatches)
+
+    def test_diff_tolerates_float_noise(self):
+        golden = load_golden("uniform")
+        live = json.loads(json.dumps(golden))
+        live["cluster"]["mean_time"] *= 1.0 + 1e-9
+        assert diff_values(live, golden) == []
+
+    def test_missing_golden_raises_with_regen_hint(self):
+        spec = ScenarioSpec(
+            name="never-blessed",
+            description="x",
+            tenants=uniform_tenants(1, "tpch:q12", cache_capacity=8),
+        )
+        report = RUNNER.run(spec)
+        with pytest.raises(GoldenMismatchError, match="regen-golden"):
+            assert_matches_golden(report)
+
+    def test_structural_divergence_reported(self):
+        golden = load_golden("uniform")
+        live = json.loads(json.dumps(golden))
+        del live["clients"]["tenant0"]
+        live["clients"]["intruder"] = {"mode": "skipper"}
+        mismatches = diff_values(live, golden)
+        assert any("tenant0" in mismatch for mismatch in mismatches)
+        assert any("intruder" in mismatch for mismatch in mismatches)
+
+
+def _run_cluster(num_clients=2):
+    catalog = tpch.build_catalog("tiny", seed=42)
+    config = ClusterConfig(
+        client_specs=[
+            ClientSpec(client_id=f"c{index}", queries=[tpch.q12()], cache_capacity=8)
+            for index in range(num_clients)
+        ]
+    )
+    cluster = Cluster(catalog, config)
+    return cluster, cluster.run()
+
+
+class TestInvariantChecker:
+    def test_clean_run_passes_all_checks(self):
+        cluster, result = _run_cluster()
+        checked = check_invariants(cluster, result)
+        assert set(checked) >= {"conservation", "monotone-clock", "no-starvation"}
+
+    def test_conservation_detects_lost_objects(self):
+        cluster, result = _run_cluster()
+        cluster.device.stats.objects_served += 1
+        with pytest.raises(InvariantViolation, match="conservation"):
+            check_conservation(cluster, result)
+
+    def test_conservation_detects_misplaced_transfer(self):
+        cluster, result = _run_cluster()
+        index, interval = next(
+            (index, interval)
+            for index, interval in enumerate(cluster.device.busy_intervals)
+            if interval.kind == "transfer"
+        )
+        cluster.device.busy_intervals[index] = BusyInterval(
+            start=interval.start,
+            end=interval.end,
+            kind="transfer",
+            group_id=interval.group_id + 1,
+            client_id=interval.client_id,
+            query_id=interval.query_id,
+            object_key=interval.object_key,
+        )
+        with pytest.raises(InvariantViolation, match="layout places"):
+            check_conservation(cluster, result)
+
+    def test_monotone_clock_detects_time_travel(self):
+        cluster, result = _run_cluster()
+        first = cluster.device.busy_intervals[0]
+        cluster.device.busy_intervals.append(
+            BusyInterval(start=0.0, end=first.end / 2, kind="switch", group_id=0)
+        )
+        with pytest.raises(InvariantViolation, match="out of order"):
+            check_monotone_clock(cluster, result)
+
+    def test_monotone_clock_detects_inverted_interval(self):
+        cluster, result = _run_cluster()
+        cluster.device.busy_intervals[0] = BusyInterval(
+            start=5.0, end=1.0, kind="switch", group_id=0
+        )
+        with pytest.raises(InvariantViolation, match="ends before"):
+            check_monotone_clock(cluster, result)
+
+
+class TestSpecSerialization:
+    @pytest.mark.parametrize("name", [*scenario_names()])
+    def test_spec_dict_matches_golden_spec(self, name):
+        spec = get_scenario(name)
+        golden = load_golden(name)
+        assert spec.to_dict() == golden["spec"]
+
+    def test_tenant_workloads_are_deduplicated(self):
+        tenant = TenantSpec(
+            tenant_id="t", queries=("tpch:q1", "tpch:q12", "ssb:q1_1"), cache_capacity=8
+        )
+        assert tenant.workloads() == ["tpch", "ssb"]
