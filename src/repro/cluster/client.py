@@ -8,7 +8,7 @@ from typing import List, Optional, Sequence, Union
 
 from repro.core.cache import EvictionPolicy, MaxProgressEviction
 from repro.core.executor import SkipperExecutor, SkipperQueryResult
-from repro.csd.device import ColdStorageDevice
+from repro.csd.backend import StorageBackend
 from repro.engine.catalog import Catalog
 from repro.engine.cost import CostModel
 from repro.engine.query import Query
@@ -60,7 +60,7 @@ class DatabaseClient:
         env: Environment,
         spec: ClientSpec,
         catalog: Catalog,
-        device: ColdStorageDevice,
+        device: StorageBackend,
         cost_model: Optional[CostModel] = None,
     ) -> None:
         self.env = env

@@ -9,7 +9,7 @@ simulation to completion and exposes the measurements the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.client import ClientSpec, DatabaseClient, QueryResult
 from repro.cluster.metrics import ExecutionBreakdown, attribute_waiting, mean
@@ -20,6 +20,8 @@ from repro.csd.scheduler import IOScheduler, RankBasedScheduler
 from repro.engine.catalog import Catalog
 from repro.engine.cost import CostModel
 from repro.exceptions import ConfigurationError
+from repro.fleet.router import FleetRouter
+from repro.fleet.spec import FleetSpec
 from repro.sim import Environment
 
 
@@ -31,6 +33,9 @@ class ClusterConfig:
     layout_policy: LayoutPolicy = field(default_factory=ClientsPerGroupLayout)
     device_config: DeviceConfig = field(default_factory=DeviceConfig)
     cost_model: CostModel = field(default_factory=CostModel)
+    #: When set, the cluster runs against a sharded multi-device fleet
+    #: instead of the paper's single shared CSD.
+    fleet_spec: Optional[FleetSpec] = None
 
     def __post_init__(self) -> None:
         if not self.client_specs:
@@ -116,12 +121,14 @@ class Cluster:
         catalog: Catalog,
         config: ClusterConfig,
         scheduler: Optional[IOScheduler] = None,
+        scheduler_factory: Optional[Callable[[], IOScheduler]] = None,
     ) -> None:
+        if scheduler is not None and scheduler_factory is not None:
+            raise ConfigurationError("pass either scheduler or scheduler_factory, not both")
         self.catalog = catalog
         self.config = config
         self.env = Environment()
         self.object_store = ObjectStore()
-        self.scheduler = scheduler or RankBasedScheduler()
 
         client_objects: Dict[str, List[str]] = {}
         for spec in config.client_specs:
@@ -134,20 +141,48 @@ class Cluster:
                 )
             client_objects[spec.client_id] = keys
 
-        self.layout = config.layout_policy.build(client_objects)
-        self.device = ColdStorageDevice(
-            env=self.env,
-            object_store=self.object_store,
-            layout=self.layout,
-            scheduler=self.scheduler,
-            config=config.device_config,
-        )
+        factory = scheduler_factory or RankBasedScheduler
+        if config.fleet_spec is not None:
+            if scheduler is not None:
+                raise ConfigurationError(
+                    "fleet mode needs one scheduler per device; pass "
+                    "scheduler_factory instead of a shared scheduler instance"
+                )
+            # Sharded mode: N devices behind a router, each with its own
+            # layout (built over its placement subset) and scheduler.
+            self.fleet: Optional[FleetRouter] = FleetRouter(
+                env=self.env,
+                object_store=self.object_store,
+                client_objects=client_objects,
+                fleet_spec=config.fleet_spec,
+                layout_policy=config.layout_policy,
+                scheduler_factory=factory,
+                device_config=config.device_config,
+            )
+            self.device = None
+            self.layout = None
+            self.scheduler = None
+            backend = self.fleet
+        else:
+            self.fleet = None
+            self.scheduler = scheduler or factory()
+            self.layout = config.layout_policy.build(client_objects)
+            self.device = ColdStorageDevice(
+                env=self.env,
+                object_store=self.object_store,
+                layout=self.layout,
+                scheduler=self.scheduler,
+                config=config.device_config,
+            )
+            backend = self.device
+        #: What clients actually talk to: the single device or the fleet router.
+        self.backend = backend
         self.clients = [
             DatabaseClient(
                 env=self.env,
                 spec=spec,
                 catalog=catalog,
-                device=self.device,
+                device=self.backend,
                 cost_model=config.cost_model,
             )
             for spec in config.client_specs
@@ -163,28 +198,40 @@ class Cluster:
                     tables.append(table)
         return tables
 
+    def device_stats(self):
+        """Aggregate device counters (single device or whole fleet)."""
+        if self.fleet is not None:
+            return self.fleet.device_stats
+        return self.device.stats
+
+    def busy_intervals(self):
+        """Busy intervals of the backend (merged across a fleet)."""
+        return self.backend.busy_intervals
+
     def run(self) -> ClusterResult:
         """Run every client to completion and collect the measurements."""
         self.env.run(self.env.all_of([client.process for client in self.clients]))
 
+        busy_intervals = self.busy_intervals()
         results_by_client = {client.client_id: list(client.results) for client in self.clients}
         breakdowns_by_client: Dict[str, List[ExecutionBreakdown]] = {}
         for client in self.clients:
             breakdowns = [
                 attribute_waiting(
                     result.blocked_intervals,
-                    self.device.busy_intervals,
+                    busy_intervals,
                     processing_time=result.processing_time,
                 )
                 for result in client.results
             ]
             breakdowns_by_client[client.client_id] = breakdowns
 
+        stats = self.device_stats()
         return ClusterResult(
             config=self.config,
             results_by_client=results_by_client,
             breakdowns_by_client=breakdowns_by_client,
-            device_switches=self.device.stats.group_switches,
-            device_objects_served=self.device.stats.objects_served,
+            device_switches=stats.group_switches,
+            device_objects_served=stats.objects_served,
             total_simulated_time=self.env.now,
         )

@@ -80,12 +80,18 @@ def attribute_waiting(
 ) -> ExecutionBreakdown:
     """Attribute a client's blocked time to device switches vs. transfers.
 
-    Any part of a blocked interval during which the device was performing a
-    group switch counts as switch wait; any part during which it was
-    transferring an object (for any tenant) counts as transfer wait; whatever
-    is left (device idle, queueing artefacts) is reported as ``other_wait``.
-    Blocked intervals are unioned first, so overlapping or duplicated
-    intervals are counted once.
+    Any part of a blocked interval during which some device was transferring
+    an object (for any tenant) counts as transfer wait; any part covered
+    only by a group switch counts as switch wait; whatever is left (devices
+    idle, queueing artefacts) is reported as ``other_wait``.
+
+    Both the blocked intervals and the busy time of each kind are unioned
+    first, so duplicated blocked intervals and *concurrently* busy devices
+    (a fleet's merged interval stream, or overlapping concurrent transfers)
+    are each counted once — every blocked second lands in exactly one
+    bucket and the components always sum to the total blocked time.  For a
+    serial single device, whose busy intervals never overlap, this is
+    exactly the per-interval attribution the paper's Figure 9 uses.
     """
     switch_wait = 0.0
     transfer_wait = 0.0
@@ -93,16 +99,19 @@ def attribute_waiting(
     relevant = [
         interval for interval in busy_intervals if interval.end > 0 and interval.duration > 0
     ]
+    transfer_spans = merge_intervals(
+        [(busy.start, busy.end) for busy in relevant if busy.kind != "switch"]
+    )
+    busy_spans = merge_intervals([(busy.start, busy.end) for busy in relevant])
     for start, end in merge_intervals(blocked_intervals):
         total_blocked += end - start
-        for busy in relevant:
-            overlap = _overlap(start, end, busy.start, busy.end)
-            if overlap <= 0:
-                continue
-            if busy.kind == "switch":
-                switch_wait += overlap
-            else:
-                transfer_wait += overlap
+        covered = sum(_overlap(start, end, *span) for span in busy_spans)
+        transferring = sum(_overlap(start, end, *span) for span in transfer_spans)
+        transfer_wait += transferring
+        # Seconds covered by busy time but not by any transfer: a switch was
+        # the only thing happening (switch-while-transferring counts as
+        # transfer wait, the bucket closest to the client's experience).
+        switch_wait += covered - transferring
     other = max(0.0, total_blocked - switch_wait - transfer_wait)
     return ExecutionBreakdown(
         processing=processing_time,

@@ -1,4 +1,4 @@
-"""The client proxy: mediator between MJoin and the cold storage device.
+"""The client proxy: mediator between MJoin and the cold storage backend.
 
 In the paper this is a daemon collocated with each PostgreSQL instance: MJoin
 hands it the list of objects it needs, the proxy issues tagged HTTP GET
@@ -6,6 +6,11 @@ requests against Swift and notifies MJoin as objects arrive.  Here the proxy
 translates segment ids into namespaced object keys, tags every request with a
 query identifier (so the CSD scheduler can be query-aware) and funnels
 completions into a FIFO the executor consumes in arrival order.
+
+The proxy is backend-agnostic: ``device`` may be a single
+:class:`~repro.csd.device.ColdStorageDevice` or a sharded
+:class:`~repro.fleet.router.FleetRouter` — anything satisfying
+:class:`~repro.csd.backend.StorageBackend`.
 """
 
 from __future__ import annotations
@@ -13,16 +18,16 @@ from __future__ import annotations
 import itertools
 from typing import List, Sequence, Tuple
 
-from repro.csd.device import ColdStorageDevice
+from repro.csd.backend import StorageBackend
 from repro.csd.object_store import make_object_key
 from repro.csd.request import GetRequest
 from repro.sim import Environment, Store
 
 
 class ClientProxy:
-    """Per-client request broker in front of the shared CSD."""
+    """Per-client request broker in front of the shared storage backend."""
 
-    def __init__(self, env: Environment, device: ColdStorageDevice, client_id: str) -> None:
+    def __init__(self, env: Environment, device: StorageBackend, client_id: str) -> None:
         self.env = env
         self.device = device
         self.client_id = client_id

@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 from repro.core.cache import EvictionPolicy, MaxProgressEviction, ObjectCache
 from repro.core.client_proxy import ClientProxy
 from repro.core.mjoin import MJoinStateManager
-from repro.csd.device import ColdStorageDevice
+from repro.csd.backend import StorageBackend
 from repro.engine.catalog import Catalog
 from repro.engine.cost import CostModel
 from repro.engine.operators.base import OperatorStats, Row
@@ -72,7 +72,7 @@ class SkipperExecutor:
         env: Environment,
         client_id: str,
         catalog: Catalog,
-        device: ColdStorageDevice,
+        device: StorageBackend,
         cache_capacity: int,
         eviction_policy: Optional[EvictionPolicy] = None,
         cost_model: Optional[CostModel] = None,

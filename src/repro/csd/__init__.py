@@ -26,6 +26,7 @@ Components:
   the metrics layer.
 """
 
+from repro.csd.backend import StorageBackend
 from repro.csd.request import GetRequest
 from repro.csd.object_store import ObjectStore
 from repro.csd.disk_group import DiskGroupLayout
@@ -76,5 +77,6 @@ __all__ = [
     "SemanticRoundRobinOrdering",
     "SkewedLayout",
     "SlackFCFSScheduler",
+    "StorageBackend",
     "TableMajorOrdering",
 ]

@@ -132,6 +132,26 @@ class ColdStorageDevice:
         )
         return self.submit(request)
 
+    def drain_pending(self) -> List[GetRequest]:
+        """Pull every not-yet-served request out of the device (fail-stop).
+
+        Anything still sitting in the inbox is registered first so the
+        scheduler's counters see it, then all queued requests are popped in
+        scheduling order.  The request being transferred at this instant (if
+        any) has already left the queues and completes normally.  Used by the
+        fleet router to fail a dead device's queue over to its replicas.
+        """
+        self._drain_inbox()
+        drained: List[GetRequest] = []
+        while self.scheduler.has_pending():
+            for group in self.scheduler.pending_groups():
+                while True:
+                    request = self.scheduler.next_request(group)
+                    if request is None:
+                        break
+                    drained.append(request)
+        return drained
+
     # ------------------------------------------------------------------ #
     # Device main loop
     # ------------------------------------------------------------------ #

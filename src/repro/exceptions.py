@@ -48,6 +48,14 @@ class SchedulingError(StorageError):
     """Raised when an I/O scheduler is misconfigured."""
 
 
+class PlacementError(StorageError):
+    """Raised when a fleet placement policy cannot place objects."""
+
+
+class FleetError(StorageError):
+    """Raised by the fleet router (dead replicas, unroutable requests)."""
+
+
 class CacheError(ReproError):
     """Raised by the Skipper buffer cache (e.g. capacity too small)."""
 
@@ -66,3 +74,7 @@ class InvariantViolation(ReproError):
 
 class GoldenMismatchError(ReproError):
     """Raised when a scenario report diverges from its committed golden file."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a scenario run exceeds its committed perf budget."""

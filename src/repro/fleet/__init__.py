@@ -1,0 +1,46 @@
+"""Sharded multi-CSD serving: placement, routing, replication, failover.
+
+The fleet layer composes N simulated Cold Storage Devices into one
+addressable storage service:
+
+* :mod:`repro.fleet.placement` — :class:`PlacementPolicy` with
+  consistent-hashing and round-robin implementations plus R-way replication.
+* :mod:`repro.fleet.spec` — declarative :class:`FleetSpec` /
+  :class:`DeviceFailure`, embedded in scenario specs.
+* :mod:`repro.fleet.router` — :class:`FleetRouter`, the device-compatible
+  facade performing replica choice, failover and metric aggregation.
+"""
+
+from repro.fleet.placement import (
+    DEFAULT_VIRTUAL_NODES,
+    KNOWN_PLACEMENTS,
+    ConsistentHashPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    build_placement,
+    stable_hash,
+)
+from repro.fleet.router import FleetMember, FleetRouter, FleetRouterStats
+from repro.fleet.spec import (
+    KNOWN_REPLICA_POLICIES,
+    DeviceFailure,
+    FleetSpec,
+    device_name,
+)
+
+__all__ = [
+    "DEFAULT_VIRTUAL_NODES",
+    "KNOWN_PLACEMENTS",
+    "KNOWN_REPLICA_POLICIES",
+    "ConsistentHashPlacement",
+    "DeviceFailure",
+    "FleetMember",
+    "FleetRouter",
+    "FleetRouterStats",
+    "FleetSpec",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "build_placement",
+    "device_name",
+    "stable_hash",
+]

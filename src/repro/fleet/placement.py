@@ -1,0 +1,170 @@
+"""Object placement across a fleet of cold storage devices.
+
+A placement policy decides, for every object key, which R devices of the
+fleet hold a replica.  The first device of each replica tuple is the
+*primary*; the router prefers it unless the replica-choice policy or a
+device failure says otherwise.
+
+Placement is pure and deterministic: the same keys and device ids always
+produce the same mapping, on every platform and Python version, which is
+what lets fleet scenarios commit byte-identical golden metrics.  Hashes are
+therefore derived from :mod:`hashlib`, never from Python's randomised
+``hash()``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import PlacementError
+
+#: Placement policy names resolvable by :func:`build_placement`.
+KNOWN_PLACEMENTS = ("consistent-hash", "round-robin")
+
+#: Vnodes per device on the consistent-hash ring.  More vnodes smooth the
+#: per-device share of the key space at the cost of a larger ring.
+DEFAULT_VIRTUAL_NODES = 64
+
+
+def stable_hash(text: str) -> int:
+    """Deterministic 64-bit hash of ``text`` (platform independent).
+
+    sha256 rather than md5: identical everywhere Python runs, including
+    FIPS-mode builds where md5 raises at call time.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class PlacementPolicy:
+    """Base class: maps every object key onto R distinct devices."""
+
+    name = "base"
+
+    def __init__(self, replication: int = 1) -> None:
+        if replication < 1:
+            raise PlacementError(f"replication must be >= 1, got {replication}")
+        self.replication = replication
+
+    def place(
+        self, object_keys: Sequence[str], device_ids: Sequence[str]
+    ) -> Dict[str, Tuple[str, ...]]:
+        """Map each key to its replica devices (primary first)."""
+        self._validate(object_keys, device_ids)
+        return {key: self.replicas_for(key, device_ids) for key in object_keys}
+
+    def replicas_for(self, object_key: str, device_ids: Sequence[str]) -> Tuple[str, ...]:
+        """Replica devices for one key (primary first)."""
+        raise NotImplementedError
+
+    def _validate(self, object_keys: Sequence[str], device_ids: Sequence[str]) -> None:
+        if not object_keys:
+            raise PlacementError("placement requires at least one object key")
+        if not device_ids:
+            raise PlacementError("placement requires at least one device")
+        if len(set(device_ids)) != len(device_ids):
+            raise PlacementError("device ids must be unique")
+        if self.replication > len(device_ids):
+            raise PlacementError(
+                f"replication factor {self.replication} exceeds fleet size "
+                f"{len(device_ids)}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "replication": self.replication}
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Deal keys onto devices in order: key *i* → devices ``i, i+1, …, i+R-1``.
+
+    Perfectly balanced for uniform key populations, but adding a device
+    relocates almost every key — the weakness consistent hashing fixes.
+    """
+
+    name = "round-robin"
+
+    def place(
+        self, object_keys: Sequence[str], device_ids: Sequence[str]
+    ) -> Dict[str, Tuple[str, ...]]:
+        self._validate(object_keys, device_ids)
+        count = len(device_ids)
+        return {
+            key: tuple(
+                device_ids[(index + replica) % count]
+                for replica in range(self.replication)
+            )
+            for index, key in enumerate(object_keys)
+        }
+
+    def replicas_for(self, object_key: str, device_ids: Sequence[str]) -> Tuple[str, ...]:
+        raise PlacementError(
+            "round-robin placement is positional; use place() over the full key list"
+        )
+
+
+class ConsistentHashPlacement(PlacementPolicy):
+    """Classic consistent hashing with virtual nodes and R-way replication.
+
+    Each device contributes ``virtual_nodes`` points on a 64-bit ring; a key
+    is owned by the first R *distinct* devices found walking clockwise from
+    the key's hash.  Adding one device to an N-device ring relocates only
+    ~K/(N+1) of K keys.
+    """
+
+    name = "consistent-hash"
+
+    def __init__(self, replication: int = 1, virtual_nodes: int = DEFAULT_VIRTUAL_NODES) -> None:
+        super().__init__(replication)
+        if virtual_nodes < 1:
+            raise PlacementError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.virtual_nodes = virtual_nodes
+        self._ring_cache: Dict[Tuple[str, ...], Tuple[List[int], List[str]]] = {}
+
+    def _ring(self, device_ids: Sequence[str]) -> Tuple[List[int], List[str]]:
+        cache_key = tuple(device_ids)
+        cached = self._ring_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        points: List[Tuple[int, str]] = []
+        for device_id in device_ids:
+            for vnode in range(self.virtual_nodes):
+                points.append((stable_hash(f"{device_id}#{vnode}"), device_id))
+        # Ties between devices at the same ring point are broken by device id
+        # so the ring is independent of the listing order of the fleet.
+        points.sort()
+        hashes = [point for point, _device in points]
+        owners = [device for _point, device in points]
+        self._ring_cache[cache_key] = (hashes, owners)
+        return hashes, owners
+
+    def replicas_for(self, object_key: str, device_ids: Sequence[str]) -> Tuple[str, ...]:
+        hashes, owners = self._ring(device_ids)
+        position = bisect.bisect_right(hashes, stable_hash(object_key))
+        replicas: List[str] = []
+        for step in range(len(hashes)):
+            owner = owners[(position + step) % len(hashes)]
+            if owner not in replicas:
+                replicas.append(owner)
+                if len(replicas) == self.replication:
+                    break
+        return tuple(replicas)
+
+    def to_dict(self) -> Dict[str, object]:
+        description = super().to_dict()
+        description["virtual_nodes"] = self.virtual_nodes
+        return description
+
+
+def build_placement(
+    name: str, replication: int, virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+) -> PlacementPolicy:
+    """Resolve a placement policy name into a policy object."""
+    if name == "consistent-hash":
+        return ConsistentHashPlacement(replication, virtual_nodes=virtual_nodes)
+    if name == "round-robin":
+        return RoundRobinPlacement(replication)
+    raise PlacementError(
+        f"unknown placement policy {name!r}; expected one of {sorted(KNOWN_PLACEMENTS)}"
+    )

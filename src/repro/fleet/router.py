@@ -1,0 +1,349 @@
+"""The fleet router: one addressable storage service over N devices.
+
+The router composes N independent :class:`~repro.csd.device.ColdStorageDevice`
+instances — each with its own disk-group layout and its own I/O scheduler —
+behind the exact ``submit()`` interface clients already speak, so executors
+and client proxies are oblivious to whether they talk to one device or to a
+sharded fleet.
+
+Responsibilities:
+
+* **Routing** — every GET is dispatched to one live replica of its object,
+  chosen by the replica policy (primary-first or least-loaded).
+* **Failover** — when a device fails (fail-stop at a scheduled time), the
+  requests still queued on it are pulled back and re-routed to surviving
+  replicas; nothing is lost as long as replication >= 2.
+* **Aggregation** — per-device busy-interval streams are merged (ordered by
+  completion) for the metrics layer, and per-device counters are combined
+  into fleet-level statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.csd.device import BusyInterval, ColdStorageDevice, DeviceConfig, DeviceStats
+from repro.csd.layout import LayoutPolicy
+from repro.csd.object_store import ObjectStore, split_object_key
+from repro.csd.request import GetRequest
+from repro.csd.scheduler import IOScheduler
+from repro.exceptions import FleetError
+from repro.fleet.placement import build_placement
+from repro.fleet.spec import DeviceFailure, FleetSpec
+from repro.sim import Environment
+
+SchedulerFactory = Callable[[], IOScheduler]
+
+
+@dataclass
+class FleetMember:
+    """One device of the fleet plus the router's book-keeping about it."""
+
+    device_id: str
+    index: int
+    #: ``None`` when the placement put no objects on this device (it then
+    #: spins idle for the whole run but still appears in fleet metrics).
+    device: Optional[ColdStorageDevice]
+    object_keys: Tuple[str, ...]
+    alive: bool = True
+    failed_at: Optional[float] = None
+    #: Requests routed to this device (including later failed-over ones).
+    requests_routed: int = 0
+    #: Routed but not yet completed (drives the least-loaded policy).
+    outstanding: int = 0
+
+    def busy_seconds(self) -> float:
+        if self.device is None:
+            return 0.0
+        return sum(interval.duration for interval in self.device.busy_intervals)
+
+    def objects_served(self) -> int:
+        return self.device.stats.objects_served if self.device else 0
+
+    def pending_requests(self) -> int:
+        return self.device.scheduler.pending_count() if self.device else 0
+
+
+@dataclass
+class FleetRouterStats:
+    """Fleet-wide counters maintained by the router."""
+
+    requests_routed: int = 0
+    failed_over: int = 0
+    per_tenant_device_served: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def record_served(self, tenant: str, device_id: str) -> None:
+        per_device = self.per_tenant_device_served.setdefault(tenant, {})
+        per_device[device_id] = per_device.get(device_id, 0) + 1
+
+
+class FleetRouter:
+    """Dispatches GET requests across a sharded, replicated device fleet."""
+
+    def __init__(
+        self,
+        env: Environment,
+        object_store: ObjectStore,
+        client_objects: Mapping[str, Sequence[str]],
+        fleet_spec: FleetSpec,
+        layout_policy: LayoutPolicy,
+        scheduler_factory: SchedulerFactory,
+        device_config: Optional[DeviceConfig] = None,
+    ) -> None:
+        self.env = env
+        self.object_store = object_store
+        self.spec = fleet_spec
+        self.stats = FleetRouterStats()
+
+        device_ids = list(fleet_spec.device_ids)
+        all_keys = [key for keys in client_objects.values() for key in keys]
+        policy = build_placement(
+            fleet_spec.placement,
+            fleet_spec.replication,
+            virtual_nodes=fleet_spec.virtual_nodes,
+        )
+        #: object key -> replica device ids, primary first.
+        self.placement: Dict[str, Tuple[str, ...]] = policy.place(all_keys, device_ids)
+
+        self.members: List[FleetMember] = []
+        self._member_by_id: Dict[str, FleetMember] = {}
+        #: Member currently responsible for each in-flight request
+        #: (re-pointed on failover, popped when the completion fires).
+        self._owner_by_request: Dict[int, FleetMember] = {}
+        for index, device_id in enumerate(device_ids):
+            # Preserve each client's object order within the device so the
+            # per-device disk-group layouts mirror the single-device ones.
+            subset = {
+                client: [
+                    key for key in keys if device_id in self.placement[key]
+                ]
+                for client, keys in client_objects.items()
+            }
+            subset = {client: keys for client, keys in subset.items() if keys}
+            device: Optional[ColdStorageDevice] = None
+            member_keys: Tuple[str, ...] = tuple(
+                key for keys in subset.values() for key in keys
+            )
+            if subset:
+                device = ColdStorageDevice(
+                    env=env,
+                    object_store=object_store,
+                    layout=layout_policy.build(subset),
+                    scheduler=scheduler_factory(),
+                    config=device_config,
+                )
+            member = FleetMember(
+                device_id=device_id, index=index, device=device, object_keys=member_keys
+            )
+            self.members.append(member)
+            self._member_by_id[device_id] = member
+
+        for failure in fleet_spec.failures:
+            env.process(
+                self._fail_device(failure), name=f"fleet-failure:{failure.device}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Client-facing API (same shape as ColdStorageDevice)
+    # ------------------------------------------------------------------ #
+    def submit(self, request: GetRequest) -> GetRequest:
+        """Route ``request`` to a live replica of its object."""
+        member = self._choose_replica(request.object_key)
+        member.requests_routed += 1
+        member.outstanding += 1
+        self.stats.requests_routed += 1
+        # One callback per request, however often it is re-routed; the owner
+        # map points at whichever member is actually serving it now.
+        if request.request_id not in self._owner_by_request:
+            request.completion.add_callback(self._make_completion_callback(request))
+        self._owner_by_request[request.request_id] = member
+        member.device.submit(request)
+        return request
+
+    def get(self, object_key: str, client_id: str, query_id: str) -> GetRequest:
+        """Convenience wrapper building and submitting a request."""
+        request = GetRequest(
+            object_key=object_key,
+            client_id=client_id,
+            query_id=query_id,
+            completion=self.env.event(name=f"get:{object_key}"),
+        )
+        return self.submit(request)
+
+    def _make_completion_callback(self, request: GetRequest):
+        def _on_complete(_event) -> None:
+            member = self._owner_by_request.pop(request.request_id)
+            member.outstanding -= 1
+            tenant, _segment = split_object_key(request.object_key)
+            self.stats.record_served(tenant, member.device_id)
+
+        return _on_complete
+
+    def _choose_replica(self, object_key: str) -> FleetMember:
+        try:
+            replicas = self.placement[object_key]
+        except KeyError:
+            raise FleetError(f"object {object_key!r} is not placed on any device") from None
+        live = [
+            self._member_by_id[device_id]
+            for device_id in replicas
+            if self._member_by_id[device_id].alive
+        ]
+        if not live:
+            raise FleetError(
+                f"every replica of {object_key!r} is dead ({', '.join(replicas)})"
+            )
+        if self.spec.replica_policy == "least-loaded":
+            # Replica order breaks ties, so equally loaded fleets behave
+            # exactly like primary-first (deterministic either way).
+            return min(live, key=lambda member: member.outstanding)
+        return live[0]
+
+    # ------------------------------------------------------------------ #
+    # Failure handling
+    # ------------------------------------------------------------------ #
+    def _fail_device(self, failure: DeviceFailure):
+        if failure.at_seconds > 0:
+            yield self.env.timeout(failure.at_seconds)
+        member = self.members[failure.device]
+        member.alive = False
+        member.failed_at = self.env.now
+        device = member.device
+        if device is None:
+            return
+        # Fail-stop at a request boundary: the transfer in flight (if any)
+        # completes normally, everything still queued fails over.
+        for request in device.drain_pending():
+            member.outstanding -= 1
+            self.stats.failed_over += 1
+            self.submit(request)
+
+    # ------------------------------------------------------------------ #
+    # Aggregated views for the metrics / invariants layers
+    # ------------------------------------------------------------------ #
+    @property
+    def busy_intervals(self) -> List[BusyInterval]:
+        """All devices' busy intervals merged in completion order."""
+        merged: List[BusyInterval] = []
+        for member in self.members:
+            if member.device is not None:
+                merged.extend(member.device.busy_intervals)
+        merged.sort(key=lambda interval: (interval.end, interval.start))
+        return merged
+
+    @property
+    def device_stats(self) -> DeviceStats:
+        """Fleet-wide counters in the single-device stats shape."""
+        combined = DeviceStats()
+        for member in self.members:
+            if member.device is None:
+                continue
+            stats = member.device.stats
+            combined.objects_served += stats.objects_served
+            combined.group_switches += stats.group_switches
+            combined.requests_received += stats.requests_received
+            for client_id, count in stats.objects_per_client.items():
+                combined.objects_per_client[client_id] = (
+                    combined.objects_per_client.get(client_id, 0) + count
+                )
+        return combined
+
+    def scheduler_switches(self) -> int:
+        """Total scheduler-reported group switches across the fleet."""
+        return sum(
+            member.device.scheduler.num_switches
+            for member in self.members
+            if member.device is not None
+        )
+
+    def max_waiting_seen(self) -> int:
+        """Worst per-query waiting counter reached on any device."""
+        waits = [
+            member.device.scheduler.max_waiting_seen
+            for member in self.members
+            if member.device is not None
+        ]
+        return max(waits) if waits else 0
+
+    def pending_total(self) -> int:
+        """Requests still queued anywhere in the fleet (0 after a clean run)."""
+        return sum(member.pending_requests() for member in self.members)
+
+    def metrics(self, total_simulated_time: float) -> Dict[str, object]:
+        """Fleet-level metrics section of the scenario report."""
+        # Imported here, not at module level: repro.cluster composes the
+        # fleet router, so a top-level import would be circular.
+        from repro.cluster.metrics import jain_fairness
+
+        per_device: Dict[str, Dict[str, object]] = {}
+        busy_values: List[float] = []
+        for member in self.members:
+            busy = member.busy_seconds()
+            busy_values.append(busy)
+            per_device[member.device_id] = {
+                "alive": member.alive,
+                "failed_at": member.failed_at,
+                "objects_placed": len(member.object_keys),
+                "objects_served": member.objects_served(),
+                "group_switches": (
+                    member.device.stats.group_switches if member.device else 0
+                ),
+                "requests_routed": member.requests_routed,
+                "busy_seconds": busy,
+                "utilization": (
+                    busy / total_simulated_time if total_simulated_time > 0 else 0.0
+                ),
+            }
+
+        mean_busy = sum(busy_values) / len(busy_values)
+        if mean_busy > 0:
+            variance = sum((value - mean_busy) ** 2 for value in busy_values) / len(
+                busy_values
+            )
+            imbalance = variance**0.5 / mean_busy
+        else:
+            imbalance = 0.0
+
+        served_by_tenant = {
+            tenant: sum(per_device_counts.values())
+            for tenant, per_device_counts in sorted(
+                self.stats.per_tenant_device_served.items()
+            )
+        }
+        # Per-tenant spread: how evenly each tenant's objects were served
+        # across the devices holding at least one replica of its data.
+        tenant_spread = {
+            tenant: jain_fairness(
+                [
+                    per_device_counts.get(member.device_id, 0)
+                    for member in self.members
+                    if any(key.startswith(f"{tenant}/") for key in member.object_keys)
+                ]
+            )
+            for tenant, per_device_counts in sorted(
+                self.stats.per_tenant_device_served.items()
+            )
+        }
+
+        total_served = sum(member.objects_served() for member in self.members)
+        return {
+            "devices": len(self.members),
+            "replication": self.spec.replication,
+            "placement": self.spec.placement,
+            "replica_policy": self.spec.replica_policy,
+            "per_device": per_device,
+            "imbalance_coefficient": imbalance,
+            "aggregate_throughput": (
+                total_served / total_simulated_time if total_simulated_time > 0 else 0.0
+            ),
+            "tenant_fairness": (
+                jain_fairness(list(served_by_tenant.values()))
+                if served_by_tenant
+                else 1.0
+            ),
+            "per_tenant_spread": tenant_spread,
+            "requests_routed": self.stats.requests_routed,
+            "failed_over_requests": self.stats.failed_over,
+            "lost_objects": self.pending_total(),
+        }

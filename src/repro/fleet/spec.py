@@ -1,0 +1,115 @@
+"""Declarative description of a storage fleet.
+
+A :class:`FleetSpec` is pure data, embedded in a
+:class:`~repro.scenarios.spec.ScenarioSpec` the same way tenants and device
+knobs are: the scenario runner resolves it into a live
+:class:`~repro.fleet.router.FleetRouter`.  ``devices=1, replication=1`` is
+the degenerate single-CSD setup the original paper reproduces; anything
+larger turns the run into a sharded multi-device experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.exceptions import ScenarioError
+from repro.fleet.placement import DEFAULT_VIRTUAL_NODES, KNOWN_PLACEMENTS
+
+#: Replica-choice policy names resolvable by the router.
+KNOWN_REPLICA_POLICIES = ("primary-first", "least-loaded")
+
+
+def device_name(index: int) -> str:
+    """Canonical identifier of the ``index``-th device of a fleet."""
+    return f"csd{index}"
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """A device going dark (fail-stop) at a fixed simulated time.
+
+    The device finishes the transfer it is performing at that instant, then
+    stops serving; every request still queued on it is failed over to a live
+    replica by the router.
+    """
+
+    device: int
+    at_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.device < 0:
+            raise ScenarioError(f"failure device index must be >= 0, got {self.device}")
+        if not math.isfinite(self.at_seconds) or self.at_seconds < 0:
+            raise ScenarioError(
+                f"failure time must be finite and non-negative, got {self.at_seconds!r}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"device": self.device, "at_seconds": self.at_seconds}
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Sharded multi-device fleet: size, replication, placement, failures."""
+
+    devices: int = 2
+    replication: int = 1
+    placement: str = "consistent-hash"
+    replica_policy: str = "primary-first"
+    virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+    failures: Tuple[DeviceFailure, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ScenarioError(f"fleet needs at least one device, got {self.devices}")
+        if not 1 <= self.replication <= self.devices:
+            raise ScenarioError(
+                f"replication must be between 1 and the fleet size "
+                f"({self.devices}), got {self.replication}"
+            )
+        if self.placement not in KNOWN_PLACEMENTS:
+            raise ScenarioError(
+                f"unknown placement {self.placement!r}; "
+                f"expected one of {sorted(KNOWN_PLACEMENTS)}"
+            )
+        if self.replica_policy not in KNOWN_REPLICA_POLICIES:
+            raise ScenarioError(
+                f"unknown replica policy {self.replica_policy!r}; "
+                f"expected one of {sorted(KNOWN_REPLICA_POLICIES)}"
+            )
+        if self.virtual_nodes < 1:
+            raise ScenarioError(f"virtual_nodes must be >= 1, got {self.virtual_nodes}")
+        failed = [failure.device for failure in self.failures]
+        if any(index >= self.devices for index in failed):
+            raise ScenarioError(
+                f"failure device index out of range for a {self.devices}-device fleet"
+            )
+        if len(set(failed)) != len(failed):
+            raise ScenarioError("each device may fail at most once")
+        if self.failures and self.replication < 2:
+            raise ScenarioError(
+                "device failures require replication >= 2; with a single "
+                "replica the failed device's queued objects would be lost"
+            )
+        if len(self.failures) >= self.replication:
+            raise ScenarioError(
+                f"at most replication-1 devices may fail (R={self.replication}); "
+                "otherwise some object could lose every replica"
+            )
+
+    @property
+    def device_ids(self) -> Tuple[str, ...]:
+        """Canonical identifiers of every device in the fleet."""
+        return tuple(device_name(index) for index in range(self.devices))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "devices": self.devices,
+            "replication": self.replication,
+            "placement": self.placement,
+            "replica_policy": self.replica_policy,
+            "virtual_nodes": self.virtual_nodes,
+            "failures": [failure.to_dict() for failure in self.failures],
+        }

@@ -13,12 +13,20 @@ suite:
 * :mod:`repro.scenarios.invariants` — cross-cutting checks every run must
   pass (conservation, bounded starvation, monotone clock, cache bounds).
 * :mod:`repro.scenarios.golden` — golden-metrics serialization and diffing.
+* :mod:`repro.scenarios.budgets` — committed per-scenario perf budgets.
+* :mod:`repro.scenarios.parallel` — deterministic multi-process execution.
+
+Fleet scenarios declare a :class:`~repro.fleet.spec.FleetSpec` on their spec
+and run against a sharded multi-device fleet (see :mod:`repro.fleet`).
 
 Command line::
 
     python -m repro.scenarios --list
     python -m repro.scenarios --run bursty
+    python -m repro.scenarios --run-all --jobs 4
+    python -m repro.scenarios --check --jobs 4
     python -m repro.scenarios --regen-golden
+    python -m repro.scenarios --regen-budgets
 """
 
 from repro.scenarios.arrivals import (
@@ -28,13 +36,17 @@ from repro.scenarios.arrivals import (
     SimultaneousArrival,
     UniformArrival,
 )
+from repro.scenarios.budgets import check_budget, load_budgets, write_budgets
 from repro.scenarios.golden import (
+    assert_dict_matches_golden,
     assert_matches_golden,
     diff_values,
     golden_path,
     load_golden,
+    unified_diff_summary,
     write_golden,
 )
+from repro.scenarios.parallel import ScenarioOutcome, run_scenarios
 from repro.scenarios.invariants import check_invariants, starvation_bound
 from repro.scenarios.registry import (
     all_scenarios,
@@ -51,6 +63,7 @@ __all__ = [
     "BurstyArrival",
     "ClientReport",
     "PoissonArrival",
+    "ScenarioOutcome",
     "ScenarioReport",
     "ScenarioRunner",
     "ScenarioSpec",
@@ -58,15 +71,21 @@ __all__ = [
     "TenantSpec",
     "UniformArrival",
     "all_scenarios",
+    "assert_dict_matches_golden",
     "assert_matches_golden",
+    "check_budget",
     "check_invariants",
     "diff_values",
     "get_scenario",
     "golden_path",
+    "load_budgets",
     "load_golden",
     "register",
+    "run_scenarios",
     "scenario_names",
     "starvation_bound",
+    "unified_diff_summary",
     "uniform_tenants",
+    "write_budgets",
     "write_golden",
 ]

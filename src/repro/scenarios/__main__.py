@@ -4,20 +4,26 @@ Examples::
 
     python -m repro.scenarios --list
     python -m repro.scenarios --run bursty
-    python -m repro.scenarios --check
+    python -m repro.scenarios --run-all --jobs 4
+    python -m repro.scenarios --check --jobs 4
     python -m repro.scenarios --regen-golden
     python -m repro.scenarios --regen-golden uniform mixed-fleet
+    python -m repro.scenarios --regen-budgets
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.exceptions import ReproError
-from repro.scenarios.golden import assert_matches_golden, write_golden
+from repro.scenarios.budgets import check_budget, load_budgets, write_budgets
+from repro.scenarios.golden import assert_dict_matches_golden, write_golden
+from repro.scenarios.parallel import ScenarioOutcome, run_scenarios
 from repro.scenarios.registry import get_scenario, scenario_names
 from repro.scenarios.runner import ScenarioRunner
 
@@ -26,7 +32,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.scenarios",
         description="Run declarative multi-tenant scenarios and manage their "
-        "golden-metrics files.",
+        "golden-metrics files and perf budgets.",
     )
     group = parser.add_mutually_exclusive_group(required=True)
     group.add_argument("--list", action="store_true", help="list registered scenarios")
@@ -34,9 +40,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--run", metavar="NAME", help="run one scenario and print its canonical report"
     )
     group.add_argument(
+        "--run-all",
+        action="store_true",
+        help="run every scenario and print a per-scenario digest of its "
+        "report (byte-identical for any --jobs value)",
+    )
+    group.add_argument(
         "--check",
         action="store_true",
-        help="run every scenario and diff it against its committed golden",
+        help="run every scenario, diff it against its committed golden and "
+        "enforce its perf budget",
     )
     group.add_argument(
         "--regen-golden",
@@ -44,6 +57,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         default=None,
         help="regenerate golden files (all scenarios when no names are given)",
+    )
+    group.add_argument(
+        "--regen-budgets",
+        action="store_true",
+        help="run every scenario and re-base tests/golden/budgets.json",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for --run-all / --check / --regen-budgets "
+        "(default: 1, serial)",
     )
     parser.add_argument(
         "--golden-dir",
@@ -54,6 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _digest(report_json: str) -> str:
+    return hashlib.sha256(report_json.encode("utf-8")).hexdigest()
+
+
+def _print_failure(outcome: ScenarioOutcome) -> None:
+    print(f"FAIL {outcome.name}\n{outcome.error}", file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = build_parser().parse_args(argv)
     runner = ScenarioRunner()
@@ -61,7 +95,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.list:
         for name in scenario_names():
             spec = get_scenario(name)
-            print(f"{name:28s} {spec.description}")
+            fleet_tag = ""
+            if spec.fleet is not None:
+                fleet_tag = (
+                    f" [fleet: {spec.fleet.devices} devices, "
+                    f"R={spec.fleet.replication}, {spec.fleet.placement}]"
+                )
+            print(f"{name:28s} {spec.description}{fleet_tag}")
         return 0
 
     if arguments.run is not None:
@@ -69,21 +109,59 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(report.to_json(), end="")
         return 0
 
-    if arguments.check:
+    if arguments.run_all:
         failures = 0
-        for name in scenario_names():
+        for outcome in run_scenarios(scenario_names(), jobs=arguments.jobs):
+            if not outcome.ok:
+                failures += 1
+                _print_failure(outcome)
+                continue
+            print(
+                f"ok   {outcome.name:28s} sim={outcome.simulated_time:12.3f}  "
+                f"sha256={_digest(outcome.report_json)}"
+            )
+        return 1 if failures else 0
+
+    if arguments.check:
+        try:
+            budgets = load_budgets(golden_dir=arguments.golden_dir)
+        except ReproError as error:
+            print(f"FAIL budgets\n{error}", file=sys.stderr)
+            budgets = None
+        failures = 1 if budgets is None else 0
+        for outcome in run_scenarios(scenario_names(), jobs=arguments.jobs):
             # Keep checking the remaining scenarios whatever one of them
-            # raises (invariant violation, cache livelock, ...), so CI shows
-            # the full per-scenario picture instead of the first error.
+            # raises (invariant violation, golden drift, blown budget, ...),
+            # so CI shows the full per-scenario picture, not the first error.
+            if not outcome.ok:
+                failures += 1
+                _print_failure(outcome)
+                continue
             try:
-                report = runner.run(get_scenario(name))
-                assert_matches_golden(report, golden_dir=arguments.golden_dir)
+                assert_dict_matches_golden(
+                    outcome.name,
+                    json.loads(outcome.report_json),
+                    golden_dir=arguments.golden_dir,
+                )
+                if budgets is not None:
+                    check_budget(outcome.name, outcome.simulated_time, budgets)
             except ReproError as error:
                 failures += 1
-                print(f"FAIL {name}\n{error}", file=sys.stderr)
+                print(f"FAIL {outcome.name}\n{error}", file=sys.stderr)
             else:
-                print(f"ok   {name}")
+                print(f"ok   {outcome.name}")
         return 1 if failures else 0
+
+    if arguments.regen_budgets:
+        simulated_times = {}
+        for outcome in run_scenarios(scenario_names(), jobs=arguments.jobs):
+            if not outcome.ok:
+                _print_failure(outcome)
+                return 1
+            simulated_times[outcome.name] = outcome.simulated_time
+        path = write_budgets(simulated_times, golden_dir=arguments.golden_dir)
+        print(f"wrote {path}")
+        return 0
 
     names = arguments.regen_golden or scenario_names()
     for name in names:

@@ -15,6 +15,7 @@ and commit the diff together with the change that caused it.
 
 from __future__ import annotations
 
+import difflib
 import json
 import math
 from pathlib import Path
@@ -22,6 +23,9 @@ from typing import Any, Dict, List, Optional
 
 from repro.exceptions import GoldenMismatchError
 from repro.scenarios.report import ScenarioReport
+
+#: Most unified-diff lines included in a mismatch error before truncation.
+MAX_DIFF_LINES = 60
 
 #: Relative tolerance for float comparisons.  The simulator is exactly
 #: deterministic, so this only absorbs float-formatting differences across
@@ -100,6 +104,31 @@ def diff_values(
     return mismatches
 
 
+def unified_diff_summary(
+    live: Dict[str, Any], golden: Dict[str, Any], name: str, max_lines: int = MAX_DIFF_LINES
+) -> str:
+    """Canonical-JSON unified diff between a live report and its golden.
+
+    Both sides are re-serialized with the canonical formatting, so the diff
+    shows exactly the lines that would change in the committed file.
+    """
+    golden_lines = json.dumps(golden, sort_keys=True, indent=2).splitlines(keepends=True)
+    live_lines = json.dumps(live, sort_keys=True, indent=2).splitlines(keepends=True)
+    diff = list(
+        difflib.unified_diff(
+            golden_lines,
+            live_lines,
+            fromfile=f"golden/{name}.json",
+            tofile=f"live/{name}.json",
+            lineterm="\n",
+        )
+    )
+    if len(diff) > max_lines:
+        omitted = len(diff) - max_lines
+        diff = diff[:max_lines] + [f"... ({omitted} more diff line(s) omitted)\n"]
+    return "".join(diff).rstrip("\n")
+
+
 def assert_matches_golden(
     report: ScenarioReport,
     golden_dir: Optional[Path] = None,
@@ -107,13 +136,32 @@ def assert_matches_golden(
     atol: float = DEFAULT_ATOL,
 ) -> None:
     """Raise :class:`GoldenMismatchError` if ``report`` diverges from its golden."""
-    golden = load_golden(report.scenario, golden_dir)
-    mismatches = diff_values(report.to_dict(), golden, rtol=rtol, atol=atol)
+    assert_dict_matches_golden(
+        report.scenario, report.to_dict(), golden_dir=golden_dir, rtol=rtol, atol=atol
+    )
+
+
+def assert_dict_matches_golden(
+    name: str,
+    live: Dict[str, Any],
+    golden_dir: Optional[Path] = None,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+) -> None:
+    """Dict-level variant of :func:`assert_matches_golden`.
+
+    Used by the parallel runner, which ships reports across process
+    boundaries as JSON rather than as live :class:`ScenarioReport` objects.
+    """
+    golden = load_golden(name, golden_dir)
+    mismatches = diff_values(live, golden, rtol=rtol, atol=atol)
     if mismatches:
         details = "\n  ".join(mismatches[:20])
+        diff_text = unified_diff_summary(live, golden, name)
         raise GoldenMismatchError(
-            f"scenario {report.scenario!r} diverged from its golden metrics "
+            f"scenario {name!r} diverged from its golden metrics "
             f"({len(mismatches)} mismatch(es)):\n  {details}\n"
+            f"Unified diff (golden -> live):\n{diff_text}\n"
             "If the change is intentional, regenerate with "
-            f"'python -m repro.scenarios --regen-golden {report.scenario}'"
+            f"'python -m repro.scenarios --regen-golden {name}'"
         )

@@ -16,6 +16,11 @@ must hold for *any* configuration:
   simulation; every query finishes no earlier than it starts.
 * **Cache bounds** — no Skipper client's cache ever held more objects than
   its configured capacity.
+* **Fleet placement** (fleet runs) — every object is placed on exactly R
+  distinct devices and every serving device actually holds a replica.
+* **Fleet failover** (fleet runs with failures) — dead devices start no work
+  after their failure instant and no request is left queued anywhere: with
+  R >= 2, zero objects are lost.
 
 A violated invariant raises :class:`~repro.exceptions.InvariantViolation`;
 the list of checks that ran is recorded in the scenario report so golden
@@ -48,13 +53,20 @@ def starvation_bound(num_groups: int, num_queries: int, fairness_constant: float
     return num_groups * (1 + math.ceil(num_queries / fairness_constant))
 
 
-def check_conservation(cluster: Cluster, result: ClusterResult) -> None:
-    """Objects-served conservation across device, scheduler and clients."""
-    issued = sum(
+def _issued_requests(result: ClusterResult) -> int:
+    return sum(
         query_result.num_requests
         for results in result.results_by_client.values()
         for query_result in results
     )
+
+
+def check_conservation(cluster: Cluster, result: ClusterResult) -> None:
+    """Objects-served conservation across device(s), scheduler(s) and clients."""
+    issued = _issued_requests(result)
+    if cluster.fleet is not None:
+        _check_fleet_conservation(cluster, issued)
+        return
     served = cluster.device.stats.objects_served
     received = cluster.device.stats.requests_received
     transfers = sum(
@@ -80,12 +92,59 @@ def check_conservation(cluster: Cluster, result: ClusterResult) -> None:
             )
 
 
+def _check_fleet_conservation(cluster: Cluster, issued: int) -> None:
+    """Fleet variant: conservation must hold across all devices combined.
+
+    Failed-over requests are registered by two devices (the dead one and the
+    replica that eventually serves them), so the received counter exceeds the
+    issued counter by exactly the router's failed-over count.
+    """
+    fleet = cluster.fleet
+    stats = fleet.device_stats
+    served = stats.objects_served
+    transfers = sum(
+        1 for interval in fleet.busy_intervals if interval.kind == "transfer"
+    )
+    per_client_total = sum(stats.objects_per_client.values())
+    if not issued == served == transfers == per_client_total:
+        raise InvariantViolation(
+            "fleet objects-served conservation broken: "
+            f"issued={issued} served={served} transfers={transfers} "
+            f"per_client_total={per_client_total}"
+        )
+    expected_received = issued + fleet.stats.failed_over
+    if stats.requests_received != expected_received:
+        raise InvariantViolation(
+            f"fleet received {stats.requests_received} requests, expected "
+            f"issued + failed_over = {expected_received}"
+        )
+    if fleet.stats.requests_routed != expected_received:
+        raise InvariantViolation(
+            f"router routed {fleet.stats.requests_routed} requests, expected "
+            f"issued + failed_over = {expected_received}"
+        )
+    for member in fleet.members:
+        if member.device is None:
+            continue
+        if member.device.scheduler.has_pending():
+            raise InvariantViolation(
+                f"device {member.device_id!r} still has pending requests "
+                "after the run"
+            )
+        for interval in member.device.busy_intervals:
+            if interval.kind != "transfer":
+                continue
+            expected_group = member.device.layout.group_of(interval.object_key)
+            if interval.group_id != expected_group:
+                raise InvariantViolation(
+                    f"device {member.device_id!r}: object "
+                    f"{interval.object_key!r} served from group "
+                    f"{interval.group_id}, layout places it on {expected_group}"
+                )
+
+
 def check_no_starvation(cluster: Cluster, result: ClusterResult) -> bool:
     """Bounded waiting under the rank-based policy (skipped otherwise)."""
-    scheduler = cluster.scheduler
-    if not isinstance(scheduler, RankBasedScheduler) or scheduler.fairness_constant <= 0:
-        return False
-    num_groups = max(1, cluster.layout.num_groups)
     num_queries = max(
         1,
         sum(
@@ -93,35 +152,67 @@ def check_no_starvation(cluster: Cluster, result: ClusterResult) -> bool:
             for spec in result.config.client_specs
         ),
     )
-    bound = starvation_bound(num_groups, num_queries, scheduler.fairness_constant)
-    if scheduler.max_waiting_seen > bound:
-        raise InvariantViolation(
-            f"rank-based scheduler (K={scheduler.fairness_constant}) let a query "
-            f"wait {scheduler.max_waiting_seen} switches, above the starvation "
-            f"bound {bound} for {num_groups} groups / {num_queries} queries"
-        )
-    return True
+    if cluster.fleet is not None:
+        # Each device schedules independently; the bound is checked per
+        # device with that device's group count (every query could in
+        # principle have data on every device, so the query count is shared).
+        schedulers = [
+            (f"device {member.device_id!r}: ", member.device.scheduler, member.device.layout)
+            for member in cluster.fleet.members
+            if member.device is not None
+        ]
+    else:
+        schedulers = [("", cluster.scheduler, cluster.layout)]
+    checked_any = False
+    for label, scheduler, layout in schedulers:
+        if not isinstance(scheduler, RankBasedScheduler) or scheduler.fairness_constant <= 0:
+            continue
+        checked_any = True
+        num_groups = max(1, layout.num_groups)
+        bound = starvation_bound(num_groups, num_queries, scheduler.fairness_constant)
+        if scheduler.max_waiting_seen > bound:
+            raise InvariantViolation(
+                f"{label}rank-based scheduler (K={scheduler.fairness_constant}) "
+                f"let a query wait {scheduler.max_waiting_seen} switches, above "
+                f"the starvation bound {bound} for {num_groups} groups / "
+                f"{num_queries} queries"
+            )
+    return checked_any
 
 
 def check_monotone_clock(cluster: Cluster, result: ClusterResult) -> None:
-    """Busy intervals and query timestamps respect the simulated clock."""
-    previous_end = 0.0
-    for interval in cluster.device.busy_intervals:
-        if interval.end < interval.start:
+    """Busy intervals and query timestamps respect the simulated clock.
+
+    In fleet mode every device's own interval stream must be monotone (the
+    merged stream is sorted by construction, so checking it would be
+    vacuous).
+    """
+    if cluster.fleet is not None:
+        streams = [
+            (member.device_id, member.device.busy_intervals)
+            for member in cluster.fleet.members
+            if member.device is not None
+        ]
+    else:
+        streams = [("device", cluster.device.busy_intervals)]
+    for label, intervals in streams:
+        previous_end = 0.0
+        for interval in intervals:
+            if interval.end < interval.start:
+                raise InvariantViolation(
+                    f"{label}: busy interval ends before it starts: {interval!r}"
+                )
+            if interval.end < previous_end:
+                raise InvariantViolation(
+                    f"{label}: busy intervals completed out of order: "
+                    f"{interval.end} after {previous_end}"
+                )
+            previous_end = interval.end
+        if previous_end > result.total_simulated_time:
             raise InvariantViolation(
-                f"busy interval ends before it starts: {interval!r}"
+                f"{label}: busy until {previous_end}, after the simulation "
+                f"ended at {result.total_simulated_time}"
             )
-        if interval.end < previous_end:
-            raise InvariantViolation(
-                "device busy intervals completed out of order: "
-                f"{interval.end} after {previous_end}"
-            )
-        previous_end = interval.end
-    if previous_end > result.total_simulated_time:
-        raise InvariantViolation(
-            f"device was busy until {previous_end}, after the simulation "
-            f"ended at {result.total_simulated_time}"
-        )
     for client_id, query_results in result.results_by_client.items():
         previous_query_end = 0.0
         for query_result in query_results:
@@ -161,6 +252,55 @@ def check_cache_bounds(result: ClusterResult) -> bool:
     return saw_skipper
 
 
+def check_fleet_placement(cluster: Cluster) -> None:
+    """Every object sits on exactly R distinct devices that truly hold it."""
+    fleet = cluster.fleet
+    replication = fleet.spec.replication
+    members_by_id = {member.device_id: member for member in fleet.members}
+    for object_key, replicas in fleet.placement.items():
+        if len(replicas) != replication or len(set(replicas)) != len(replicas):
+            raise InvariantViolation(
+                f"object {object_key!r} is placed on {list(replicas)}, "
+                f"expected exactly {replication} distinct devices"
+            )
+        for device_id in replicas:
+            member = members_by_id.get(device_id)
+            if member is None or member.device is None:
+                raise InvariantViolation(
+                    f"object {object_key!r} placed on unknown or empty "
+                    f"device {device_id!r}"
+                )
+            if not member.device.layout.has_object(object_key):
+                raise InvariantViolation(
+                    f"device {device_id!r} does not hold a replica of "
+                    f"{object_key!r} despite the placement saying so"
+                )
+
+
+def check_fleet_failover(cluster: Cluster) -> bool:
+    """Dead devices stop at their failure instant and nothing is lost."""
+    fleet = cluster.fleet
+    failed = [member for member in fleet.members if not member.alive]
+    if not failed:
+        return False
+    for member in failed:
+        if member.device is None:
+            continue
+        for interval in member.device.busy_intervals:
+            if interval.start > member.failed_at:
+                raise InvariantViolation(
+                    f"dead device {member.device_id!r} started work at "
+                    f"{interval.start}, after failing at {member.failed_at}"
+                )
+    lost = fleet.pending_total()
+    if lost:
+        raise InvariantViolation(
+            f"{lost} request(s) left queued in the fleet after the run "
+            "(lost objects on failover)"
+        )
+    return True
+
+
 def check_invariants(cluster: Cluster, result: ClusterResult) -> List[str]:
     """Run every applicable invariant; return the names of those checked."""
     checked = ["conservation", "monotone-clock"]
@@ -170,4 +310,9 @@ def check_invariants(cluster: Cluster, result: ClusterResult) -> List[str]:
         checked.append("no-starvation")
     if check_cache_bounds(result):
         checked.append("cache-bounds")
+    if cluster.fleet is not None:
+        check_fleet_placement(cluster)
+        checked.append("fleet-placement")
+        if check_fleet_failover(cluster):
+            checked.append("fleet-failover")
     return checked

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.exceptions import ScenarioError
+from repro.fleet.spec import DeviceFailure, FleetSpec
 from repro.scenarios.arrivals import BurstyArrival, PoissonArrival, UniformArrival
 from repro.scenarios.spec import ScenarioSpec, TenantSpec, uniform_tenants
 
@@ -194,6 +195,110 @@ def dataset_scaleout() -> ScenarioSpec:
         "(3x the objects of 'tiny') with a proportionally larger cache.",
         tenants=uniform_tenants(3, "tpch:q12", cache_capacity=16),
         scale="small",
+        seed=42,
+    )
+
+
+@register
+def fleet_uniform() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-uniform",
+        description="Four Skipper tenants sharded over a four-device fleet "
+        "with consistent hashing and 2-way replication; the baseline "
+        "scale-out shape.",
+        tenants=uniform_tenants(4, "tpch:q12", cache_capacity=8),
+        fleet=FleetSpec(devices=4, replication=2, placement="consistent-hash"),
+        seed=42,
+    )
+
+
+@register
+def fleet_hot_shard() -> ScenarioSpec:
+    hot = TenantSpec(
+        tenant_id="hot", queries=("tpch:q12",), repetitions=4, cache_capacity=8
+    )
+    cold = tuple(
+        TenantSpec(tenant_id=f"cold{index}", queries=("tpch:q12",), cache_capacity=8)
+        for index in range(3)
+    )
+    return ScenarioSpec(
+        name="fleet-hot-shard",
+        description="One tenant issues 4x the load of the other three on a "
+        "three-device fleet; primary-first routing concentrates the hot "
+        "tenant's traffic, surfacing a non-zero shard-imbalance coefficient.",
+        tenants=(hot,) + cold,
+        fleet=FleetSpec(
+            devices=3,
+            replication=2,
+            placement="consistent-hash",
+            replica_policy="primary-first",
+        ),
+        seed=42,
+    )
+
+
+@register
+def fleet_device_loss() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-device-loss",
+        description="A three-device fleet with 2-way replication loses one "
+        "device mid-run; its queued requests fail over to surviving "
+        "replicas with zero lost objects.",
+        tenants=uniform_tenants(4, "tpch:q12", cache_capacity=8),
+        fleet=FleetSpec(
+            devices=3,
+            replication=2,
+            placement="consistent-hash",
+            replica_policy="least-loaded",
+            failures=(DeviceFailure(device=0, at_seconds=40.0),),
+        ),
+        seed=42,
+    )
+
+
+@register
+def fleet_scaleout() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-scaleout",
+        description="Six tenants at the paper's SF-50 scale sharded over "
+        "four devices with 2-way replication — the heavy end of the "
+        "regression net (also what makes --jobs visibly faster).",
+        tenants=uniform_tenants(6, "tpch:q12", repetitions=2, cache_capacity=16),
+        scale="sf50",
+        fleet=FleetSpec(devices=4, replication=2),
+        seed=42,
+    )
+
+
+@register
+def fleet_replicated_read() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-replicated-read",
+        description="Six SF-50 tenants on a six-device fleet with 3-way "
+        "replication and least-loaded routing: reads spread across all "
+        "replicas of every shard.",
+        tenants=uniform_tenants(6, "tpch:q12", repetitions=2, cache_capacity=16),
+        scale="sf50",
+        fleet=FleetSpec(devices=6, replication=3, replica_policy="least-loaded"),
+        seed=42,
+    )
+
+
+@register
+def fleet_loss_at_scale() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-loss-at-scale",
+        description="Device loss under real load: six SF-50 tenants on four "
+        "devices (R=2), one device dies at t=300s and dozens of queued "
+        "requests fail over with zero lost objects.",
+        tenants=uniform_tenants(6, "tpch:q12", repetitions=2, cache_capacity=16),
+        scale="sf50",
+        fleet=FleetSpec(
+            devices=4,
+            replication=2,
+            replica_policy="least-loaded",
+            failures=(DeviceFailure(device=1, at_seconds=300.0),),
+        ),
         seed=42,
     )
 

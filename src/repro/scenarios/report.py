@@ -12,11 +12,17 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 #: Decimal places kept in serialized floats.  The simulation is exactly
 #: deterministic, so this only canonicalises repr noise, not real variance.
 FLOAT_PRECISION = 9
+
+#: Version of the serialized report layout.  Bump whenever keys are added,
+#: removed or change meaning, and regenerate every golden in the same commit.
+#: Version 2 added ``schema_version`` itself, the ``fleet`` section and the
+#: ``fleet`` field of the embedded spec.
+SCHEMA_VERSION = 2
 
 
 def canonical(value: Any) -> Any:
@@ -82,11 +88,15 @@ class ScenarioReport:
     breakdown: Dict[str, float]
     cache: Dict[str, float]
     invariants_checked: List[str] = field(default_factory=list)
+    #: Fleet-level metrics (per-device utilization, imbalance, failover
+    #: counters); ``None`` for single-device scenarios.
+    fleet: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Canonical nested-dict form (deterministic for a given run)."""
         return canonical(
             {
+                "schema_version": SCHEMA_VERSION,
                 "scenario": self.scenario,
                 "seed": self.seed,
                 "spec": self.spec,
@@ -106,6 +116,7 @@ class ScenarioReport:
                 },
                 "breakdown": self.breakdown,
                 "cache": self.cache,
+                "fleet": self.fleet,
                 "invariants_checked": sorted(self.invariants_checked),
             }
         )

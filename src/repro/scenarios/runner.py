@@ -149,8 +149,11 @@ class ScenarioRunner:
                 transfer_seconds_per_object=spec.transfer_seconds,
                 concurrent_transfers=spec.concurrent_transfers,
             ),
+            fleet_spec=spec.fleet,
         )
-        return Cluster(catalog, config, scheduler=build_scheduler(spec))
+        # Every device of a fleet gets its own scheduler instance, so the
+        # scheduler is passed as a factory rather than an object.
+        return Cluster(catalog, config, scheduler_factory=lambda: build_scheduler(spec))
 
     def run(self, spec: ScenarioSpec) -> ScenarioReport:
         """Run ``spec`` to completion, validate it and report the metrics."""
@@ -197,14 +200,22 @@ class ScenarioRunner:
 
         breakdown = result.average_breakdown()
         per_client_means = [report.mean_time for report in clients.values()]
+        if cluster.fleet is not None:
+            scheduler_switches = cluster.fleet.scheduler_switches()
+            max_waiting = cluster.fleet.max_waiting_seen()
+            fleet_metrics = cluster.fleet.metrics(result.total_simulated_time)
+        else:
+            scheduler_switches = cluster.scheduler.num_switches
+            max_waiting = cluster.scheduler.max_waiting_seen
+            fleet_metrics = None
         return ScenarioReport(
             scenario=spec.name,
             seed=spec.seed,
             spec=spec.to_dict(),
             clients=clients,
             device_switches=result.device_switches,
-            scheduler_switches=cluster.scheduler.num_switches,
-            max_waiting_seen=cluster.scheduler.max_waiting_seen,
+            scheduler_switches=scheduler_switches,
+            max_waiting_seen=max_waiting,
             objects_served=result.device_objects_served,
             total_simulated_time=result.total_simulated_time,
             cumulative_time=result.cumulative_execution_time(),
@@ -218,6 +229,7 @@ class ScenarioRunner:
             },
             cache=self._cache_stats(result),
             invariants_checked=list(checked),
+            fleet=fleet_metrics,
         )
 
     @staticmethod

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.client import MODE_SKIPPER, MODE_VANILLA
 from repro.exceptions import ScenarioError
+from repro.fleet.spec import FleetSpec
 from repro.scenarios.arrivals import ArrivalPattern, SimultaneousArrival
 
 #: Workload-qualified query names look like ``"tpch:q12"`` or ``"ssb:q1_1"``.
@@ -128,6 +129,10 @@ class ScenarioSpec:
     switch_seconds: float = 10.0
     transfer_seconds: float = 9.6
     concurrent_transfers: bool = False
+    #: When set, the scenario runs against a sharded multi-device fleet
+    #: (placement, replication, optional mid-run device failures) instead of
+    #: the single shared CSD.
+    fleet: Optional[FleetSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -210,6 +215,7 @@ class ScenarioSpec:
             "switch_seconds": self.switch_seconds,
             "transfer_seconds": self.transfer_seconds,
             "concurrent_transfers": self.concurrent_transfers,
+            "fleet": self.fleet.to_dict() if self.fleet is not None else None,
         }
 
 

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.client_proxy import ClientProxy
-from repro.csd.device import ColdStorageDevice
+from repro.csd.backend import StorageBackend
 from repro.engine.catalog import Catalog
 from repro.engine.cost import CostModel
 from repro.engine.operators.base import OperatorStats, Row
@@ -58,7 +58,7 @@ class VanillaExecutor:
         env: Environment,
         client_id: str,
         catalog: Catalog,
-        device: ColdStorageDevice,
+        device: StorageBackend,
         cost_model: Optional[CostModel] = None,
         proxy: Optional[ClientProxy] = None,
     ) -> None:

@@ -1,0 +1,94 @@
+"""Fleet scenarios: registry coverage, invariants and report contents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioRunner,
+    assert_matches_golden,
+    get_scenario,
+    golden_path,
+    scenario_names,
+)
+
+FLEET_SCENARIOS = [
+    "fleet-uniform",
+    "fleet-hot-shard",
+    "fleet-device-loss",
+    "fleet-scaleout",
+    "fleet-replicated-read",
+    "fleet-loss-at-scale",
+]
+
+LOSS_SCENARIOS = ["fleet-device-loss", "fleet-loss-at-scale"]
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """Each fleet scenario run exactly once for the whole module."""
+    runner = ScenarioRunner()
+    return {name: runner.run(get_scenario(name)) for name in FLEET_SCENARIOS}
+
+
+class TestRegistry:
+    def test_fleet_scenarios_registered_with_goldens(self):
+        names = set(scenario_names())
+        for name in FLEET_SCENARIOS:
+            assert name in names
+            assert golden_path(name).exists()
+
+    @pytest.mark.parametrize("name", FLEET_SCENARIOS)
+    def test_fleet_scenarios_match_goldens(self, reports, name):
+        assert_matches_golden(reports[name])
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("name", FLEET_SCENARIOS)
+    def test_fleet_invariants_checked(self, reports, name):
+        checked = reports[name].invariants_checked
+        assert "conservation" in checked
+        assert "monotone-clock" in checked
+        assert "fleet-placement" in checked
+
+    @pytest.mark.parametrize("name", LOSS_SCENARIOS)
+    def test_failover_invariant_runs_on_loss_scenarios(self, reports, name):
+        assert "fleet-failover" in reports[name].invariants_checked
+
+
+class TestReports:
+    def test_fleet_section_present_only_for_fleet_scenarios(self, reports):
+        fleet_report = reports["fleet-uniform"]
+        assert fleet_report.fleet is not None
+        assert fleet_report.fleet["devices"] == 4
+        single_report = ScenarioRunner().run(get_scenario("uniform"))
+        assert single_report.fleet is None
+        assert single_report.to_dict()["fleet"] is None
+
+    @pytest.mark.parametrize("name", LOSS_SCENARIOS)
+    def test_device_loss_reports_zero_lost_objects(self, reports, name):
+        fleet = reports[name].fleet
+        assert fleet["lost_objects"] == 0
+        assert fleet["failed_over_requests"] > 0
+        dead = [entry for entry in fleet["per_device"].values() if not entry["alive"]]
+        assert len(dead) == 1
+        assert dead[0]["failed_at"] is not None
+
+    def test_hot_shard_shows_imbalance(self, reports):
+        fleet = reports["fleet-hot-shard"].fleet
+        assert fleet["imbalance_coefficient"] > 0.05
+        # The hot tenant dominates service, dragging inter-tenant fairness
+        # well below 1.
+        assert fleet["tenant_fairness"] < 0.95
+
+    def test_replicated_read_spreads_tenants_across_devices(self, reports):
+        spread = reports["fleet-replicated-read"].fleet["per_tenant_spread"]
+        assert spread, "expected per-tenant spread metrics"
+        # Least-loaded over 3 replicas: every tenant is served by more than
+        # one device (a spread of 1/3 would mean a single device).
+        assert all(value > 0.34 for value in spread.values())
+
+    @pytest.mark.parametrize("name", FLEET_SCENARIOS)
+    def test_utilization_bounded_by_one(self, reports, name):
+        for entry in reports[name].fleet["per_device"].values():
+            assert 0.0 <= entry["utilization"] <= 1.0 + 1e-9
