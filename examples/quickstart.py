@@ -1,28 +1,28 @@
 #!/usr/bin/env python3
-"""Quickstart: run one query with Skipper on a simulated Cold Storage Device.
+"""Quickstart: sessions and query handles on the storage-service façade.
 
-Builds a small TPC-H-like dataset, stores it as objects on an emulated CSD,
-executes TPC-H Q12 with the cache-aware MJoin executor and verifies that the
-answer matches a plain in-memory execution.  Also prints the simulated
-execution-time metrics Skipper collects.
+Builds a small TPC-H-like dataset, stands up a :class:`StorageService` over
+an emulated Cold Storage Device, opens one Skipper session and one vanilla
+(pull-based) session, submits TPC-H Q12 through both and drives the
+simulation to completion.  The two executors must agree on the answer, and
+each :class:`QueryHandle` carries the submit/start/finish timeline and the
+simulated execution-time metrics Skipper collects.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.core import SkipperExecutor
-from repro.csd import (
-    AllInOneLayout,
-    ColdStorageDevice,
-    DeviceConfig,
-    ObjectStore,
-    RankBasedScheduler,
+from repro.service import (
+    ClientSpec,
+    ClusterConfig,
+    StorageService,
+    canonical_rows,
+    format_table,
+    workloads,
 )
-from repro.engine import InMemoryExecutor
-from repro.engine.executor import canonical_rows
-from repro.sim import Environment
-from repro.workloads import tpch
+
+tpch = workloads.tpch
 
 
 def main() -> None:
@@ -30,47 +30,53 @@ def main() -> None:
     catalog = tpch.build_catalog("small", seed=42)
     query = tpch.q12()
 
-    # 2. Ground truth: run the query directly over the in-memory relations.
-    expected = InMemoryExecutor(catalog).execute(query)
-
-    # 3. Store every segment as an object on an emulated CSD.
-    env = Environment()
-    store = ObjectStore()
-    keys = []
-    for table in query.tables:
-        keys.extend(
-            store.put_segment("tenant0", segment.segment_id, segment)
-            for segment in catalog.relation(table).segments
-        )
-    layout = AllInOneLayout().build({"tenant0": keys})
-    device = ColdStorageDevice(
-        env,
-        store,
-        layout,
-        RankBasedScheduler(),
-        DeviceConfig(group_switch_seconds=10.0, transfer_seconds_per_object=9.6),
+    # 2. One service, two tenants: Skipper vs the pull-based baseline.
+    config = ClusterConfig(
+        client_specs=[
+            ClientSpec(client_id="skipper", queries=[query], mode="skipper", cache_capacity=8),
+            ClientSpec(client_id="vanilla", queries=[query], mode="vanilla"),
+        ]
     )
+    service = StorageService(config, catalog=catalog)
 
-    # 4. Execute the query with Skipper (cache of 8 objects forces evictions).
-    executor = SkipperExecutor(env, "tenant0", catalog, device, cache_capacity=8)
-    process = env.process(executor.execute(query))
-    env.run(until=process)
-    result = process.value
+    # 3. Open a session per tenant and submit the query through the façade.
+    handles = {}
+    for tenant in ("skipper", "vanilla"):
+        session = service.open_session(tenant)
+        handles[tenant] = session.submit(query)
+        session.close()
 
-    # 5. Report.
-    print(f"Query          : {query.name}")
-    print(f"Answer matches : {canonical_rows(result.rows) == canonical_rows(expected.rows)}")
-    for row in result.rows:
-        print(f"  {row}")
-    print(f"Simulated time : {result.execution_time:8.1f} s")
-    print(f"Processing time: {result.processing_time:8.1f} s")
-    print(f"GET requests   : {result.num_requests}")
-    print(f"Request cycles : {result.num_cycles}")
-    print(f"Cache evictions: {result.num_evictions}")
+    # 4. Drive the simulation until every submitted query has resolved.
+    service.run()
+
+    # 5. Both executors must produce the same answer.
+    skipper_rows = canonical_rows(handles["skipper"].result().rows)
+    vanilla_rows = canonical_rows(handles["vanilla"].result().rows)
+    assert skipper_rows == vanilla_rows, "executors disagree on the query answer"
+    print(f"answer verified: {len(skipper_rows)} groups, executors agree\n")
+
+    # 6. Report each handle's lifecycle and measurements.
+    rows = []
+    for tenant, handle in handles.items():
+        result = handle.result()
+        rows.append(
+            [
+                tenant,
+                handle.status,
+                round(handle.submitted_at, 1),
+                round(handle.started_at, 1),
+                round(handle.finished_at, 1),
+                round(result.execution_time, 1),
+                result.num_requests,
+            ]
+        )
     print(
-        "Subplans       : "
-        f"{result.subplans_executed} executed, {result.subplans_pruned} pruned "
-        f"of {result.subplans_total}"
+        format_table(
+            ["session", "status", "submitted", "started", "finished",
+             "execution time (s)", "GET requests"],
+            rows,
+            title="Query handles after StorageService.run() (simulated seconds)",
+        )
     )
 
 

@@ -14,21 +14,26 @@ The package is organised as follows:
   cache with the maximal-progress eviction policy, the cache-aware MJoin
   state manager, the client proxy and the Skipper executor.
 * :mod:`repro.vanilla` -- the pull-based baseline ("PostgreSQL on CSD").
-* :mod:`repro.cluster` -- multi-client experiments and metrics.
+* :mod:`repro.cluster` -- experiment configs, batch results and metrics.
+* :mod:`repro.service` -- **the public query-service façade**: sessions,
+  query handles and admission control over the storage substrate.
+* :mod:`repro.fleet` -- sharded multi-device serving behind one interface.
+* :mod:`repro.scenarios` -- declarative regression scenarios + goldens.
 * :mod:`repro.workloads` -- TPC-H, SSB, analytics-benchmark and NREF-like
   synthetic workloads.
 * :mod:`repro.tiering` -- the storage-tiering cost analysis.
 * :mod:`repro.harness` -- one function per table/figure of the paper.
 
-Quickstart::
+Quickstart (see :mod:`repro.service` for the session API)::
 
-    from repro.harness import experiments
+    from repro.service import experiments
 
     results = experiments.figure7_skipper_scaling(client_counts=(1, 3, 5), scale="small")
     print(results)
 """
 
 from repro.exceptions import (
+    AdmissionError,
     CacheError,
     CatalogError,
     ConfigurationError,
@@ -39,13 +44,16 @@ from repro.exceptions import (
     ReproError,
     SchedulingError,
     SchemaError,
+    ServiceError,
+    SessionClosedError,
     SimulationError,
     StorageError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AdmissionError",
     "CacheError",
     "CatalogError",
     "ConfigurationError",
@@ -56,6 +64,8 @@ __all__ = [
     "ReproError",
     "SchedulingError",
     "SchemaError",
+    "ServiceError",
+    "SessionClosedError",
     "SimulationError",
     "StorageError",
     "__version__",

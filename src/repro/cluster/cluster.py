@@ -1,28 +1,33 @@
-"""Cluster assembly and execution.
+"""Cluster assembly and execution (legacy batch shim).
 
-A :class:`Cluster` wires together everything one experiment needs — an object
-store loaded with every tenant's segments, a disk-group layout, an I/O
-scheduler, the shared CSD, and one database client per tenant — runs the
-simulation to completion and exposes the measurements the paper reports.
+Historically a :class:`Cluster` wired together everything one experiment
+needs and ran it to completion.  That responsibility now lives in the
+service façade (:class:`repro.service.service.StorageService`); ``Cluster``
+remains as a thin, deprecated shim that builds a service from the same
+arguments, mirrors its backend attributes (``env``, ``device``, ``fleet``,
+``scheduler``, ``layout``, …) and delegates :meth:`Cluster.run` to it, so
+existing callers keep working unchanged.
+
+:class:`ClusterConfig` and :class:`ClusterResult` are still the canonical
+experiment-description and batch-measurement types — the façade itself uses
+them.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.cluster.client import ClientSpec, DatabaseClient, QueryResult
-from repro.cluster.metrics import ExecutionBreakdown, attribute_waiting, mean
-from repro.csd.device import ColdStorageDevice, DeviceConfig
+from repro.cluster.client import ClientSpec, QueryResult
+from repro.cluster.metrics import ExecutionBreakdown, mean
+from repro.csd.device import DeviceConfig
 from repro.csd.layout import ClientsPerGroupLayout, LayoutPolicy
-from repro.csd.object_store import ObjectStore
-from repro.csd.scheduler import IOScheduler, RankBasedScheduler
+from repro.csd.scheduler import IOScheduler
 from repro.engine.catalog import Catalog
 from repro.engine.cost import CostModel
 from repro.exceptions import ConfigurationError
-from repro.fleet.router import FleetRouter
 from repro.fleet.spec import FleetSpec
-from repro.sim import Environment
 
 
 @dataclass
@@ -114,7 +119,13 @@ class ClusterResult:
 
 
 class Cluster:
-    """Builds and runs one multi-client experiment."""
+    """Deprecated batch harness; a thin shim over the service façade.
+
+    Use :class:`repro.service.service.StorageService` directly in new code::
+
+        service = StorageService(config, catalog=catalog)
+        result = service.run()
+    """
 
     def __init__(
         self,
@@ -122,116 +133,52 @@ class Cluster:
         config: ClusterConfig,
         scheduler: Optional[IOScheduler] = None,
         scheduler_factory: Optional[Callable[[], IOScheduler]] = None,
+        admission=None,
     ) -> None:
-        if scheduler is not None and scheduler_factory is not None:
-            raise ConfigurationError("pass either scheduler or scheduler_factory, not both")
+        # Deferred import: the service module imports this one for the
+        # ClusterConfig / ClusterResult types.
+        from repro.service.service import StorageService
+
+        #: The façade instance this shim delegates to.
+        self.service = StorageService(
+            config,
+            catalog=catalog,
+            scheduler=scheduler,
+            scheduler_factory=scheduler_factory,
+            admission=admission,
+        )
         self.catalog = catalog
         self.config = config
-        self.env = Environment()
-        self.object_store = ObjectStore()
-
-        client_objects: Dict[str, List[str]] = {}
-        for spec in config.client_specs:
-            keys: List[str] = []
-            for table in self._tables_used_by(spec):
-                relation = catalog.relation(table)
-                keys.extend(
-                    self.object_store.put_segment(spec.client_id, segment.segment_id, segment)
-                    for segment in relation.segments
-                )
-            client_objects[spec.client_id] = keys
-
-        factory = scheduler_factory or RankBasedScheduler
-        if config.fleet_spec is not None:
-            if scheduler is not None:
-                raise ConfigurationError(
-                    "fleet mode needs one scheduler per device; pass "
-                    "scheduler_factory instead of a shared scheduler instance"
-                )
-            # Sharded mode: N devices behind a router, each with its own
-            # layout (built over its placement subset) and scheduler.
-            self.fleet: Optional[FleetRouter] = FleetRouter(
-                env=self.env,
-                object_store=self.object_store,
-                client_objects=client_objects,
-                fleet_spec=config.fleet_spec,
-                layout_policy=config.layout_policy,
-                scheduler_factory=factory,
-                device_config=config.device_config,
-            )
-            self.device = None
-            self.layout = None
-            self.scheduler = None
-            backend = self.fleet
-        else:
-            self.fleet = None
-            self.scheduler = scheduler or factory()
-            self.layout = config.layout_policy.build(client_objects)
-            self.device = ColdStorageDevice(
-                env=self.env,
-                object_store=self.object_store,
-                layout=self.layout,
-                scheduler=self.scheduler,
-                config=config.device_config,
-            )
-            backend = self.device
+        # Mirror the service's backend surface so existing callers (tests,
+        # invariant checks, notebooks) keep their attribute access.
+        self.env = self.service.env
+        self.object_store = self.service.object_store
+        self.fleet = self.service.fleet
+        self.device = self.service.device
+        self.layout = self.service.layout
+        self.scheduler = self.service.scheduler
         #: What clients actually talk to: the single device or the fleet router.
-        self.backend = backend
-        self.clients = [
-            DatabaseClient(
-                env=self.env,
-                spec=spec,
-                catalog=catalog,
-                device=self.backend,
-                cost_model=config.cost_model,
-            )
-            for spec in config.client_specs
-        ]
-
-    @staticmethod
-    def _tables_used_by(spec: ClientSpec) -> List[str]:
-        """Tables referenced by any query of one client (stable order)."""
-        tables: List[str] = []
-        for query in spec.queries:
-            for table in query.tables:
-                if table not in tables:
-                    tables.append(table)
-        return tables
+        self.backend = self.service.backend
 
     def device_stats(self):
         """Aggregate device counters (single device or whole fleet)."""
-        if self.fleet is not None:
-            return self.fleet.device_stats
-        return self.device.stats
+        return self.service.device_stats()
 
     def busy_intervals(self):
         """Busy intervals of the backend (merged across a fleet)."""
-        return self.backend.busy_intervals
+        return self.service.busy_intervals()
 
     def run(self) -> ClusterResult:
-        """Run every client to completion and collect the measurements."""
-        self.env.run(self.env.all_of([client.process for client in self.clients]))
+        """Run every client to completion and collect the measurements.
 
-        busy_intervals = self.busy_intervals()
-        results_by_client = {client.client_id: list(client.results) for client in self.clients}
-        breakdowns_by_client: Dict[str, List[ExecutionBreakdown]] = {}
-        for client in self.clients:
-            breakdowns = [
-                attribute_waiting(
-                    result.blocked_intervals,
-                    busy_intervals,
-                    processing_time=result.processing_time,
-                )
-                for result in client.results
-            ]
-            breakdowns_by_client[client.client_id] = breakdowns
-
-        stats = self.device_stats()
-        return ClusterResult(
-            config=self.config,
-            results_by_client=results_by_client,
-            breakdowns_by_client=breakdowns_by_client,
-            device_switches=stats.group_switches,
-            device_objects_served=stats.objects_served,
-            total_simulated_time=self.env.now,
+        .. deprecated:: 1.1
+            Delegates to :meth:`StorageService.run`; submit through sessions
+            on the façade instead.
+        """
+        warnings.warn(
+            "Cluster.run() is deprecated; use repro.service.StorageService "
+            "(open_session/submit/run) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self.service.run()

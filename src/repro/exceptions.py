@@ -60,6 +60,18 @@ class CacheError(ReproError):
     """Raised by the Skipper buffer cache (e.g. capacity too small)."""
 
 
+class ServiceError(ReproError):
+    """Raised for misuse of the query-service façade (sessions, handles)."""
+
+
+class SessionClosedError(ServiceError):
+    """Raised when submitting a query to a session that has been closed."""
+
+
+class AdmissionError(ServiceError):
+    """Raised when admission control rejects a query (caps or queue full)."""
+
+
 class ConfigurationError(ReproError):
     """Raised for invalid experiment or cost-model configuration."""
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.cluster import ClientSpec, Cluster, ClusterConfig, ClusterResult
+from repro.cluster import ClientSpec, ClusterConfig, ClusterResult
 from repro.cluster.metrics import l2_norm, max_stretch, mean, stretches
 from repro.core.cache import (
     EvictionPolicy,
@@ -100,8 +100,15 @@ def run_uniform_cluster(
         cost_model=cost_model or CostModel(),
     )
     scheduler = scheduler if scheduler is not None else _default_scheduler(mode)
-    cluster = Cluster(catalog, config, scheduler=scheduler)
-    return cluster.run()
+    return _run_service(catalog, config, scheduler)
+
+
+def _run_service(catalog: Catalog, config: ClusterConfig, scheduler: IOScheduler) -> ClusterResult:
+    """Run one batch experiment through the service façade."""
+    # Deferred import: the façade package re-exports this harness.
+    from repro.service.service import StorageService
+
+    return StorageService(config, catalog=catalog, scheduler=scheduler).run()
 
 
 def _default_scheduler(mode: str) -> IOScheduler:
@@ -287,8 +294,7 @@ def figure8_mixed_workload(
                 group_switch_seconds=switch_seconds, transfer_seconds_per_object=9.6
             ),
         )
-        cluster = Cluster(catalog, config, scheduler=_default_scheduler(mode))
-        result = cluster.run()
+        result = _run_service(catalog, config, _default_scheduler(mode))
         totals = result.per_client_totals()
         return {
             name: totals[f"client_{name.lower().replace('-', '_')}"] for name in workloads

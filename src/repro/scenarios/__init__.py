@@ -9,7 +9,7 @@ suite:
 * :mod:`repro.scenarios.arrivals` — deterministic tenant arrival patterns.
 * :mod:`repro.scenarios.registry` — named, ready-made scenarios.
 * :mod:`repro.scenarios.runner` — :class:`ScenarioRunner` executing specs
-  through the :class:`~repro.cluster.cluster.Cluster` layers.
+  through the :class:`~repro.service.service.StorageService` façade.
 * :mod:`repro.scenarios.invariants` — cross-cutting checks every run must
   pass (conservation, bounded starvation, monotone clock, cache bounds).
 * :mod:`repro.scenarios.golden` — golden-metrics serialization and diffing.

@@ -80,6 +80,54 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _render_scenario_table(golden_dir: Optional[Path] = None) -> str:
+    """The ``--list`` view: one row per scenario with its headline shape.
+
+    Budgets come from the committed ``tests/golden/budgets.json``; scenarios
+    without a committed budget yet (freshly registered) show ``-``.
+    """
+    from repro.harness.tables import format_table
+
+    try:
+        budgets = load_budgets(golden_dir=golden_dir)["budgets"]
+    except ReproError:
+        budgets = {}
+    rows = []
+    for name in scenario_names():
+        spec = get_scenario(name)
+        queries = sum(len(tenant.queries) * tenant.repetitions for tenant in spec.tenants)
+        if spec.fleet is not None:
+            devices = f"{spec.fleet.devices} x R{spec.fleet.replication}"
+        else:
+            devices = "1"
+        if spec.admission is not None:
+            caps = (
+                spec.admission.max_in_flight,
+                spec.admission.max_in_flight_per_tenant,
+            )
+            admission = "/".join("-" if cap is None else str(cap) for cap in caps)
+            admission += f" q{spec.admission.max_queue_depth}"
+        else:
+            admission = "off"
+        budget = budgets.get(name, {}).get("simulated_time")
+        rows.append(
+            [
+                name,
+                len(spec.tenants),
+                queries,
+                spec.scale,
+                devices,
+                admission,
+                f"{budget:.1f}" if budget is not None else "-",
+            ]
+        )
+    return format_table(
+        ["scenario", "tenants", "queries", "scale", "devices", "admission", "sim budget (s)"],
+        rows,
+        title=f"{len(rows)} registered scenarios",
+    )
+
+
 def _digest(report_json: str) -> str:
     return hashlib.sha256(report_json.encode("utf-8")).hexdigest()
 
@@ -93,15 +141,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     runner = ScenarioRunner()
 
     if arguments.list:
-        for name in scenario_names():
-            spec = get_scenario(name)
-            fleet_tag = ""
-            if spec.fleet is not None:
-                fleet_tag = (
-                    f" [fleet: {spec.fleet.devices} devices, "
-                    f"R={spec.fleet.replication}, {spec.fleet.placement}]"
-                )
-            print(f"{name:28s} {spec.description}{fleet_tag}")
+        print(_render_scenario_table(golden_dir=arguments.golden_dir))
         return 0
 
     if arguments.run is not None:

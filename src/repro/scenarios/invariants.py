@@ -32,10 +32,18 @@ from __future__ import annotations
 import math
 from typing import List
 
+from typing import Union
+
 from repro.cluster.cluster import Cluster, ClusterResult
 from repro.core.executor import SkipperQueryResult
 from repro.csd.scheduler import RankBasedScheduler
 from repro.exceptions import InvariantViolation
+from repro.service.service import StorageService
+
+#: The invariant checks only touch the backend surface (``fleet`` /
+#: ``device`` / ``scheduler`` / ``layout``), which the service façade and the
+#: legacy cluster shim expose identically.
+ClusterLike = Union[Cluster, StorageService]
 
 
 def starvation_bound(num_groups: int, num_queries: int, fairness_constant: float) -> int:
@@ -61,7 +69,7 @@ def _issued_requests(result: ClusterResult) -> int:
     )
 
 
-def check_conservation(cluster: Cluster, result: ClusterResult) -> None:
+def check_conservation(cluster: ClusterLike, result: ClusterResult) -> None:
     """Objects-served conservation across device(s), scheduler(s) and clients."""
     issued = _issued_requests(result)
     if cluster.fleet is not None:
@@ -92,7 +100,7 @@ def check_conservation(cluster: Cluster, result: ClusterResult) -> None:
             )
 
 
-def _check_fleet_conservation(cluster: Cluster, issued: int) -> None:
+def _check_fleet_conservation(cluster: ClusterLike, issued: int) -> None:
     """Fleet variant: conservation must hold across all devices combined.
 
     Failed-over requests are registered by two devices (the dead one and the
@@ -143,7 +151,7 @@ def _check_fleet_conservation(cluster: Cluster, issued: int) -> None:
                 )
 
 
-def check_no_starvation(cluster: Cluster, result: ClusterResult) -> bool:
+def check_no_starvation(cluster: ClusterLike, result: ClusterResult) -> bool:
     """Bounded waiting under the rank-based policy (skipped otherwise)."""
     num_queries = max(
         1,
@@ -180,7 +188,7 @@ def check_no_starvation(cluster: Cluster, result: ClusterResult) -> bool:
     return checked_any
 
 
-def check_monotone_clock(cluster: Cluster, result: ClusterResult) -> None:
+def check_monotone_clock(cluster: ClusterLike, result: ClusterResult) -> None:
     """Busy intervals and query timestamps respect the simulated clock.
 
     In fleet mode every device's own interval stream must be monotone (the
@@ -252,7 +260,7 @@ def check_cache_bounds(result: ClusterResult) -> bool:
     return saw_skipper
 
 
-def check_fleet_placement(cluster: Cluster) -> None:
+def check_fleet_placement(cluster: ClusterLike) -> None:
     """Every object sits on exactly R distinct devices that truly hold it."""
     fleet = cluster.fleet
     replication = fleet.spec.replication
@@ -277,7 +285,7 @@ def check_fleet_placement(cluster: Cluster) -> None:
                 )
 
 
-def check_fleet_failover(cluster: Cluster) -> bool:
+def check_fleet_failover(cluster: ClusterLike) -> bool:
     """Dead devices stop at their failure instant and nothing is lost."""
     fleet = cluster.fleet
     failed = [member for member in fleet.members if not member.alive]
@@ -301,7 +309,7 @@ def check_fleet_failover(cluster: Cluster) -> bool:
     return True
 
 
-def check_invariants(cluster: Cluster, result: ClusterResult) -> List[str]:
+def check_invariants(cluster: ClusterLike, result: ClusterResult) -> List[str]:
     """Run every applicable invariant; return the names of those checked."""
     checked = ["conservation", "monotone-clock"]
     check_conservation(cluster, result)

@@ -19,6 +19,7 @@ from repro.exceptions import ScenarioError
 from repro.fleet.spec import DeviceFailure, FleetSpec
 from repro.scenarios.arrivals import BurstyArrival, PoissonArrival, UniformArrival
 from repro.scenarios.spec import ScenarioSpec, TenantSpec, uniform_tenants
+from repro.service.admission import AdmissionConfig
 
 ScenarioBuilder = Callable[[], ScenarioSpec]
 
@@ -298,6 +299,37 @@ def fleet_loss_at_scale() -> ScenarioSpec:
             replication=2,
             replica_policy="least-loaded",
             failures=(DeviceFailure(device=1, at_seconds=300.0),),
+        ),
+        seed=42,
+    )
+
+
+@register
+def admission_burst() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="admission-burst",
+        description="Nine tenants arrive in three tight bursts against an "
+        "admission controller with a global in-flight cap of 2 and a "
+        "3-deep queue; the overflow beyond queue capacity is shed with "
+        "typed rejections.",
+        tenants=uniform_tenants(9, "tpch:q12", cache_capacity=8),
+        arrival=BurstyArrival(burst_size=3, burst_gap_seconds=30.0, jitter_seconds=2.0),
+        admission=AdmissionConfig(max_in_flight=2, max_queue_depth=3),
+        seed=42,
+    )
+
+
+@register
+def session_fanout() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="session-fanout",
+        description="Eight sessions each submit two queries through a global "
+        "in-flight cap of 3 (per-tenant cap 1) with a queue deep enough "
+        "that nothing is shed: every query eventually runs, pinning the "
+        "admission queue-delay percentiles and fairness.",
+        tenants=uniform_tenants(8, "tpch:q12", repetitions=2, cache_capacity=8),
+        admission=AdmissionConfig(
+            max_in_flight=3, max_in_flight_per_tenant=1, max_queue_depth=64
         ),
         seed=42,
     )

@@ -21,8 +21,10 @@ FLOAT_PRECISION = 9
 #: Version of the serialized report layout.  Bump whenever keys are added,
 #: removed or change meaning, and regenerate every golden in the same commit.
 #: Version 2 added ``schema_version`` itself, the ``fleet`` section and the
-#: ``fleet`` field of the embedded spec.
-SCHEMA_VERSION = 2
+#: ``fleet`` field of the embedded spec.  Version 3 added the ``admission``
+#: section (service-façade admission control) and the ``admission`` field of
+#: the embedded spec; all other metrics are unchanged.
+SCHEMA_VERSION = 3
 
 
 def canonical(value: Any) -> Any:
@@ -91,6 +93,9 @@ class ScenarioReport:
     #: Fleet-level metrics (per-device utilization, imbalance, failover
     #: counters); ``None`` for single-device scenarios.
     fleet: Optional[Dict[str, Any]] = None
+    #: Admission-control metrics (rejected/queued counts, queue-delay
+    #: percentiles, per-tenant fairness); ``None`` with admission disabled.
+    admission: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Canonical nested-dict form (deterministic for a given run)."""
@@ -117,6 +122,7 @@ class ScenarioReport:
                 "breakdown": self.breakdown,
                 "cache": self.cache,
                 "fleet": self.fleet,
+                "admission": self.admission,
                 "invariants_checked": sorted(self.invariants_checked),
             }
         )

@@ -1,16 +1,18 @@
-"""Execute a :class:`ScenarioSpec` through the cluster layers.
+"""Execute a :class:`ScenarioSpec` through the service façade.
 
 The runner is the only place that turns declarative scenario data into live
 objects: it builds the catalogs for every workload the scenario references,
 resolves layout/scheduler names, derives each tenant's start delay from the
-arrival pattern, runs the :class:`~repro.cluster.cluster.Cluster` to
-completion, validates the run with the invariant checker and condenses the
-measurements into a canonical :class:`~repro.scenarios.report.ScenarioReport`.
+arrival pattern, runs a
+:class:`~repro.service.service.StorageService` to completion, validates the
+run with the invariant checker and condenses the measurements into a
+canonical :class:`~repro.scenarios.report.ScenarioReport`.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Dict, List, Sequence
 
 from repro.cluster.client import ClientSpec
@@ -40,6 +42,7 @@ from repro.exceptions import ScenarioError
 from repro.scenarios.invariants import check_invariants
 from repro.scenarios.report import ClientReport, ScenarioReport
 from repro.scenarios.spec import KNOWN_WORKLOADS, ScenarioSpec, split_query_ref
+from repro.service.service import StorageService
 from repro.workloads import mrbench, nref, ssb, tpch
 
 #: Workload modules by scenario-spec prefix.  Each exposes ``build_catalog``
@@ -114,6 +117,34 @@ def resolve_query(reference: str) -> Query:
     return WORKLOAD_MODULES[workload].query(query_name)
 
 
+def build_cluster_config(spec: ScenarioSpec) -> ClusterConfig:
+    """Materialise the spec's tenants, arrivals and device knobs into a config."""
+    rng = random.Random(spec.seed)
+    delays = spec.arrival.delays(len(spec.tenants), rng)
+    client_specs = [
+        ClientSpec(
+            client_id=tenant.tenant_id,
+            queries=[resolve_query(reference) for reference in tenant.queries],
+            mode=tenant.mode,
+            repetitions=tenant.repetitions,
+            cache_capacity=tenant.cache_capacity,
+            enable_pruning=tenant.enable_pruning,
+            start_delay=delay,
+        )
+        for tenant, delay in zip(spec.tenants, delays)
+    ]
+    return ClusterConfig(
+        client_specs=client_specs,
+        layout_policy=build_layout(spec),
+        device_config=DeviceConfig(
+            group_switch_seconds=spec.switch_seconds,
+            transfer_seconds_per_object=spec.transfer_seconds,
+            concurrent_transfers=spec.concurrent_transfers,
+        ),
+        fleet_spec=spec.fleet,
+    )
+
+
 class ScenarioRunner:
     """Runs scenario specs deterministically and emits canonical reports."""
 
@@ -124,45 +155,33 @@ class ScenarioRunner:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
+    def build_service(self, spec: ScenarioSpec) -> StorageService:
+        """Materialise the spec into a ready-to-run storage service."""
+        return StorageService(spec)
+
     def build_cluster(self, spec: ScenarioSpec) -> Cluster:
-        """Materialise the spec into a ready-to-run cluster."""
-        catalog = build_catalog(spec)
-        rng = random.Random(spec.seed)
-        delays = spec.arrival.delays(len(spec.tenants), rng)
-        client_specs = [
-            ClientSpec(
-                client_id=tenant.tenant_id,
-                queries=[resolve_query(reference) for reference in tenant.queries],
-                mode=tenant.mode,
-                repetitions=tenant.repetitions,
-                cache_capacity=tenant.cache_capacity,
-                enable_pruning=tenant.enable_pruning,
-                start_delay=delay,
-            )
-            for tenant, delay in zip(spec.tenants, delays)
-        ]
-        config = ClusterConfig(
-            client_specs=client_specs,
-            layout_policy=build_layout(spec),
-            device_config=DeviceConfig(
-                group_switch_seconds=spec.switch_seconds,
-                transfer_seconds_per_object=spec.transfer_seconds,
-                concurrent_transfers=spec.concurrent_transfers,
-            ),
-            fleet_spec=spec.fleet,
+        """Deprecated: materialise the spec into a legacy cluster shim."""
+        warnings.warn(
+            "ScenarioRunner.build_cluster() is deprecated; use "
+            "build_service() instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        # Every device of a fleet gets its own scheduler instance, so the
-        # scheduler is passed as a factory rather than an object.
-        return Cluster(catalog, config, scheduler_factory=lambda: build_scheduler(spec))
+        return Cluster(
+            build_catalog(spec),
+            build_cluster_config(spec),
+            scheduler_factory=lambda: build_scheduler(spec),
+            admission=spec.admission,
+        )
 
     def run(self, spec: ScenarioSpec) -> ScenarioReport:
         """Run ``spec`` to completion, validate it and report the metrics."""
-        cluster = self.build_cluster(spec)
-        result = cluster.run()
+        service = self.build_service(spec)
+        result = service.run()
         checked: List[str] = []
         if self.check:
-            checked = check_invariants(cluster, result)
-        return self._build_report(spec, cluster, result, checked)
+            checked = check_invariants(service, result)
+        return self._build_report(spec, service, result, checked)
 
     # ------------------------------------------------------------------ #
     # Report assembly
@@ -170,7 +189,7 @@ class ScenarioRunner:
     def _build_report(
         self,
         spec: ScenarioSpec,
-        cluster: Cluster,
+        service: StorageService,
         result: ClusterResult,
         checked: Sequence[str],
     ) -> ScenarioReport:
@@ -185,6 +204,8 @@ class ScenarioRunner:
         }
         for client_id, query_results in result.results_by_client.items():
             times = [query_result.execution_time for query_result in query_results]
+            # A tenant whose every query was shed by admission control ran
+            # nothing; its latency distribution degenerates to zeros.
             clients[client_id] = ClientReport(
                 mode=mode_by_client[client_id],
                 start_delay=delay_by_client[client_id],
@@ -192,22 +213,25 @@ class ScenarioRunner:
                 requests=sum(query_result.num_requests for query_result in query_results),
                 total_time=sum(times),
                 mean_time=mean(times),
-                min_time=min(times),
-                max_time=max(times),
-                p50_time=percentile(times, 0.50),
-                p95_time=percentile(times, 0.95),
+                min_time=min(times) if times else 0.0,
+                max_time=max(times) if times else 0.0,
+                p50_time=percentile(times, 0.50) if times else 0.0,
+                p95_time=percentile(times, 0.95) if times else 0.0,
             )
 
         breakdown = result.average_breakdown()
         per_client_means = [report.mean_time for report in clients.values()]
-        if cluster.fleet is not None:
-            scheduler_switches = cluster.fleet.scheduler_switches()
-            max_waiting = cluster.fleet.max_waiting_seen()
-            fleet_metrics = cluster.fleet.metrics(result.total_simulated_time)
+        if service.fleet is not None:
+            scheduler_switches = service.fleet.scheduler_switches()
+            max_waiting = service.fleet.max_waiting_seen()
+            fleet_metrics = service.fleet.metrics(result.total_simulated_time)
         else:
-            scheduler_switches = cluster.scheduler.num_switches
-            max_waiting = cluster.scheduler.max_waiting_seen
+            scheduler_switches = service.scheduler.num_switches
+            max_waiting = service.scheduler.max_waiting_seen
             fleet_metrics = None
+        admission_metrics = (
+            service.admission.summary() if service.admission is not None else None
+        )
         return ScenarioReport(
             scenario=spec.name,
             seed=spec.seed,
@@ -230,6 +254,7 @@ class ScenarioRunner:
             cache=self._cache_stats(result),
             invariants_checked=list(checked),
             fleet=fleet_metrics,
+            admission=admission_metrics,
         )
 
     @staticmethod

@@ -19,6 +19,7 @@ from repro.cluster.client import MODE_SKIPPER, MODE_VANILLA
 from repro.exceptions import ScenarioError
 from repro.fleet.spec import FleetSpec
 from repro.scenarios.arrivals import ArrivalPattern, SimultaneousArrival
+from repro.service.admission import AdmissionConfig
 
 #: Workload-qualified query names look like ``"tpch:q12"`` or ``"ssb:q1_1"``.
 KNOWN_WORKLOADS = ("tpch", "ssb", "mrbench", "nref")
@@ -133,6 +134,10 @@ class ScenarioSpec:
     #: (placement, replication, optional mid-run device failures) instead of
     #: the single shared CSD.
     fleet: Optional[FleetSpec] = None
+    #: When set, queries pass through the service façade's admission
+    #: controller (in-flight caps, bounded queue, typed rejections).  ``None``
+    #: disables admission and reproduces the legacy batch behaviour exactly.
+    admission: Optional[AdmissionConfig] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -173,6 +178,11 @@ class ScenarioSpec:
                     f"scenario {self.name!r}: layout_param must be a tuple of "
                     f"positive integers, got {self.layout_param!r}"
                 )
+        if self.admission is not None and not isinstance(self.admission, AdmissionConfig):
+            raise ScenarioError(
+                f"scenario {self.name!r}: admission must be an AdmissionConfig "
+                f"or None, got {self.admission!r}"
+            )
         if self.scheduler_param is not None and (
             not math.isfinite(self.scheduler_param) or self.scheduler_param < 0
         ):
@@ -216,6 +226,7 @@ class ScenarioSpec:
             "transfer_seconds": self.transfer_seconds,
             "concurrent_transfers": self.concurrent_transfers,
             "fleet": self.fleet.to_dict() if self.fleet is not None else None,
+            "admission": self.admission.to_dict() if self.admission is not None else None,
         }
 
 

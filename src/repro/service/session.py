@@ -1,0 +1,197 @@
+"""Per-tenant sessions: the submission side of the service façade.
+
+A :class:`Session` is a long-lived, per-tenant connection to a
+:class:`~repro.service.service.StorageService`.  Queries submitted to a
+session run **sequentially in submission order** (one in flight per session,
+like a database connection); each :meth:`Session.submit` returns a
+:class:`~repro.service.handles.QueryHandle` immediately.  Every query passes
+through the service's admission controller (when one is configured) before an
+executor is created for it.
+
+Determinism note: with admission disabled, a session that has all its queries
+submitted before the simulation runs performs exactly the same sequence of
+simulation events as the legacy
+:class:`~repro.cluster.client.DatabaseClient` process it replaces — this is
+what keeps the pre-façade golden metrics byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional
+
+from repro.cluster.client import MODE_SKIPPER, MODE_VANILLA, QueryResult
+from repro.core.cache import EvictionPolicy, MaxProgressEviction
+from repro.core.executor import SkipperExecutor
+from repro.exceptions import ConfigurationError, SessionClosedError
+from repro.service.handles import QueryHandle
+from repro.vanilla.executor import VanillaExecutor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.query import Query
+    from repro.service.service import StorageService
+
+
+class Session:
+    """One tenant's open connection to the storage service."""
+
+    def __init__(
+        self,
+        service: "StorageService",
+        tenant_id: str,
+        mode: str = MODE_SKIPPER,
+        cache_capacity: int = 30,
+        eviction_policy: Optional[EvictionPolicy] = None,
+        enable_pruning: bool = True,
+        start_delay: float = 0.0,
+    ) -> None:
+        if mode not in (MODE_SKIPPER, MODE_VANILLA):
+            raise ConfigurationError(f"unknown session mode: {mode!r}")
+        if mode == MODE_SKIPPER and cache_capacity <= 0:
+            raise ConfigurationError(
+                f"session {tenant_id!r}: cache_capacity must be positive, "
+                f"got {cache_capacity}"
+            )
+        if not math.isfinite(start_delay) or start_delay < 0:
+            raise ConfigurationError("start_delay must be finite and non-negative")
+        self.service = service
+        self.env = service.env
+        self.tenant_id = tenant_id
+        self.mode = mode
+        self.cache_capacity = cache_capacity
+        self.eviction_policy = eviction_policy
+        self.enable_pruning = enable_pruning
+        self.start_delay = start_delay
+        #: Every handle ever issued by this session, in submission order.
+        self.handles: List[QueryHandle] = []
+        #: Results of the queries that ran to completion, in execution order.
+        self.results: List[QueryResult] = []
+        self._pending: Deque[QueryHandle] = deque()
+        self._outstanding = 0
+        self._closed = False
+        self._wakeup = None
+        self.process = self.env.process(self._run(), name=f"session:{tenant_id}")
+
+    # ------------------------------------------------------------------ #
+    # Client-facing API
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def submit(self, query: "Query", at: Optional[float] = None) -> QueryHandle:
+        """Hand ``query`` to the service; returns its handle immediately.
+
+        ``at`` defers the submission to an absolute simulated time (it must
+        not lie in the past).  Queries run sequentially per session, in the
+        order they arrive.
+        """
+        if self._closed:
+            raise SessionClosedError(
+                f"session {self.tenant_id!r} is closed; open a new session to "
+                "submit more queries"
+            )
+        if at is not None:
+            if not math.isfinite(at) or at < self.env.now:
+                raise ConfigurationError(
+                    f"submit time {at!r} must be finite and not in the past "
+                    f"(now: {self.env.now})"
+                )
+        handle = QueryHandle(query, self.tenant_id, submitted_at=None)
+        self.handles.append(handle)
+        self._outstanding += 1
+        if at is None or at <= self.env.now:
+            handle._mark_submitted(self.env.now)
+            self._pending.append(handle)
+            self._notify()
+        else:
+            self.env.process(
+                self._deliver_at(handle, at),
+                name=f"session-submit:{self.tenant_id}",
+            )
+        return handle
+
+    def close(self) -> None:
+        """Refuse further submissions; queued work still runs to completion."""
+        if self._closed:
+            return
+        self._closed = True
+        self._notify()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _notify(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed(None)
+
+    def _deliver_at(self, handle: QueryHandle, at: float):
+        yield self.env.timeout(at - self.env.now)
+        handle._mark_submitted(self.env.now)
+        self._pending.append(handle)
+        self._notify()
+
+    def _make_executor(self):
+        """Fresh executor per query, mirroring the legacy DatabaseClient."""
+        if self.mode == MODE_SKIPPER:
+            return SkipperExecutor(
+                env=self.env,
+                client_id=self.tenant_id,
+                catalog=self.service.catalog,
+                device=self.service.backend,
+                cache_capacity=self.cache_capacity,
+                eviction_policy=self.eviction_policy or MaxProgressEviction(),
+                cost_model=self.service.cost_model,
+                enable_pruning=self.enable_pruning,
+            )
+        return VanillaExecutor(
+            env=self.env,
+            client_id=self.tenant_id,
+            catalog=self.service.catalog,
+            device=self.service.backend,
+            cost_model=self.service.cost_model,
+        )
+
+    def _run(self):
+        if self.start_delay > 0:
+            yield self.env.timeout(self.start_delay)
+        while True:
+            while self._pending:
+                handle = self._pending.popleft()
+                yield from self._execute(handle)
+            if self._closed and self._outstanding == 0:
+                break
+            # Idle but not finished: wait for a submit, a deferred delivery
+            # or close().  Never reached in pre-submitted batch runs, so the
+            # legacy event sequence is preserved exactly.
+            self._wakeup = self.env.event(name=f"session-wake:{self.tenant_id}")
+            yield self._wakeup
+            self._wakeup = None
+
+    def _execute(self, handle: QueryHandle):
+        admission = self.service.admission
+        if admission is not None:
+            ticket = admission.request(self.tenant_id)
+            if ticket.rejected:
+                handle._mark_rejected(ticket.error, self.env.now)
+                self._outstanding -= 1
+                return
+            if ticket.queued:
+                handle._mark_queued(self.env.now)
+            yield ticket.event
+        handle._mark_running(self.env.now)
+        executor = self._make_executor()
+        try:
+            result = yield from executor.execute(handle.query)
+        finally:
+            if admission is not None:
+                admission.release(self.tenant_id)
+        handle._mark_finished(result, self.env.now)
+        self.results.append(result)
+        self._outstanding -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<Session {self.tenant_id!r} {state} outstanding={self._outstanding}>"

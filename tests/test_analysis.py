@@ -11,7 +11,6 @@ from repro.analysis import (
     vanilla_execution_time,
 )
 from repro.analysis.model import mjoin_expected_requests, skipper_average_execution_time
-from repro.engine.cost import CostModel
 from repro.exceptions import ConfigurationError
 from repro.harness import experiments
 from repro.workloads import tpch

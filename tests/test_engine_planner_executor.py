@@ -5,7 +5,6 @@ import pytest
 from repro.engine import CostModel, InMemoryExecutor, Planner
 from repro.engine.executor import canonical_rows
 from repro.engine.query import AggregateSpec, JoinCondition, Query
-from repro.exceptions import PlanningError
 from repro.workloads import tpch
 
 
