@@ -11,10 +11,11 @@ switch/transfer/processing breakdown, stretch and the L2 norm of stretch.
 """
 
 from repro.cluster.client import ClientSpec, DatabaseClient
-from repro.cluster.cluster import Cluster, ClusterConfig, ClusterResult
+from repro.cluster.cluster import ClusterConfig, ClusterResult
 from repro.cluster.metrics import (
     ExecutionBreakdown,
     attribute_waiting,
+    imbalance_coefficient,
     jain_fairness,
     l2_norm,
     max_stretch,
@@ -25,12 +26,12 @@ from repro.cluster.metrics import (
 
 __all__ = [
     "ClientSpec",
-    "Cluster",
     "ClusterConfig",
     "ClusterResult",
     "DatabaseClient",
     "ExecutionBreakdown",
     "attribute_waiting",
+    "imbalance_coefficient",
     "jain_fairness",
     "l2_norm",
     "max_stretch",

@@ -1,30 +1,25 @@
-"""Cluster assembly and execution (legacy batch shim).
+"""Canonical experiment-description and batch-measurement types.
 
-Historically a :class:`Cluster` wired together everything one experiment
-needs and ran it to completion.  That responsibility now lives in the
-service façade (:class:`repro.service.service.StorageService`); ``Cluster``
-remains as a thin, deprecated shim that builds a service from the same
-arguments, mirrors its backend attributes (``env``, ``device``, ``fleet``,
-``scheduler``, ``layout``, …) and delegates :meth:`Cluster.run` to it, so
-existing callers keep working unchanged.
+Historically a ``Cluster`` class here wired together everything one
+experiment needs and ran it to completion.  That responsibility lives in the
+service façade (:class:`repro.service.service.StorageService`); the
+deprecated ``Cluster.run()`` shim has been retired — construct a
+``StorageService(config, catalog=...)`` and call ``run()`` instead.
 
-:class:`ClusterConfig` and :class:`ClusterResult` are still the canonical
+:class:`ClusterConfig` and :class:`ClusterResult` remain the canonical
 experiment-description and batch-measurement types — the façade itself uses
 them.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cluster.client import ClientSpec, QueryResult
 from repro.cluster.metrics import ExecutionBreakdown, mean
 from repro.csd.device import DeviceConfig
 from repro.csd.layout import ClientsPerGroupLayout, LayoutPolicy
-from repro.csd.scheduler import IOScheduler
-from repro.engine.catalog import Catalog
 from repro.engine.cost import CostModel
 from repro.exceptions import ConfigurationError
 from repro.fleet.spec import FleetSpec
@@ -60,6 +55,10 @@ class ClusterResult:
     device_switches: int
     device_objects_served: int
     total_simulated_time: float
+    #: Admission-controller summary of the run (``None`` with admission
+    #: disabled), so batch consumers — the experiment harness, notebooks —
+    #: see shed/queued traffic without reaching into the service.
+    admission: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # Aggregates used by the figures
@@ -118,67 +117,3 @@ class ClusterResult:
         )
 
 
-class Cluster:
-    """Deprecated batch harness; a thin shim over the service façade.
-
-    Use :class:`repro.service.service.StorageService` directly in new code::
-
-        service = StorageService(config, catalog=catalog)
-        result = service.run()
-    """
-
-    def __init__(
-        self,
-        catalog: Catalog,
-        config: ClusterConfig,
-        scheduler: Optional[IOScheduler] = None,
-        scheduler_factory: Optional[Callable[[], IOScheduler]] = None,
-        admission=None,
-    ) -> None:
-        # Deferred import: the service module imports this one for the
-        # ClusterConfig / ClusterResult types.
-        from repro.service.service import StorageService
-
-        #: The façade instance this shim delegates to.
-        self.service = StorageService(
-            config,
-            catalog=catalog,
-            scheduler=scheduler,
-            scheduler_factory=scheduler_factory,
-            admission=admission,
-        )
-        self.catalog = catalog
-        self.config = config
-        # Mirror the service's backend surface so existing callers (tests,
-        # invariant checks, notebooks) keep their attribute access.
-        self.env = self.service.env
-        self.object_store = self.service.object_store
-        self.fleet = self.service.fleet
-        self.device = self.service.device
-        self.layout = self.service.layout
-        self.scheduler = self.service.scheduler
-        #: What clients actually talk to: the single device or the fleet router.
-        self.backend = self.service.backend
-
-    def device_stats(self):
-        """Aggregate device counters (single device or whole fleet)."""
-        return self.service.device_stats()
-
-    def busy_intervals(self):
-        """Busy intervals of the backend (merged across a fleet)."""
-        return self.service.busy_intervals()
-
-    def run(self) -> ClusterResult:
-        """Run every client to completion and collect the measurements.
-
-        .. deprecated:: 1.1
-            Delegates to :meth:`StorageService.run`; submit through sessions
-            on the façade instead.
-        """
-        warnings.warn(
-            "Cluster.run() is deprecated; use repro.service.StorageService "
-            "(open_session/submit/run) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.service.run()

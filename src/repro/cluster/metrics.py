@@ -172,6 +172,24 @@ def percentile(values: Iterable[float], fraction: float) -> float:
     return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
 
 
+def imbalance_coefficient(values: Iterable[float]) -> float:
+    """Coefficient of variation (population std / mean) of a load vector.
+
+    0.0 means perfectly even load across devices; the fleet layer reports it
+    both fleet-wide and per membership epoch, which is how a rebalance is
+    shown to actually *balance* (the post-join coefficient drops).  An empty
+    or all-zero vector is perfectly balanced by convention.
+    """
+    values = list(values)
+    if not values:
+        return 0.0
+    mean_value = sum(values) / len(values)
+    if mean_value <= 0:
+        return 0.0
+    variance = sum((value - mean_value) ** 2 for value in values) / len(values)
+    return variance**0.5 / mean_value
+
+
 def jain_fairness(values: Iterable[float]) -> float:
     """Jain's fairness index: ``(Σx)² / (n · Σx²)``.
 

@@ -19,9 +19,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from collections import deque
+
 from repro.csd.disk_group import DiskGroupLayout
-from repro.csd.object_store import ObjectStore
-from repro.csd.request import GetRequest
+from repro.csd.object_store import ObjectStore, split_object_key
+from repro.csd.request import GetRequest, MigrationJob
 from repro.csd.scheduler import IOScheduler
 from repro.exceptions import ConfigurationError, StorageError
 from repro.sim import Environment, Store
@@ -54,11 +56,11 @@ class DeviceConfig:
 
 @dataclass(frozen=True)
 class BusyInterval:
-    """One stretch of device activity: a group switch or an object transfer."""
+    """One stretch of device activity: a switch, a transfer or migration I/O."""
 
     start: float
     end: float
-    kind: str  # "switch" or "transfer"
+    kind: str  # "switch", "transfer" or "migration"
     group_id: int
     client_id: Optional[str] = None
     query_id: Optional[str] = None
@@ -78,6 +80,11 @@ class DeviceStats:
     group_switches: int = 0
     requests_received: int = 0
     objects_per_client: Dict[str, int] = field(default_factory=dict)
+    #: Rebalancing I/O performed by this device (reads + writes of migrating
+    #: objects), and the share of it done while foreground work was waiting.
+    migration_jobs: int = 0
+    migration_seconds: float = 0.0
+    migration_interference_seconds: float = 0.0
 
     def record_served(self, client_id: str) -> None:
         self.objects_served += 1
@@ -101,6 +108,9 @@ class ColdStorageDevice:
         self.scheduler = scheduler
         self.config = config or DeviceConfig()
         self.inbox: Store = Store(env, name="csd-inbox")
+        #: Rebalancing work (migration reads/writes) served with priority
+        #: over foreground GETs, in arrival order.
+        self._admin_jobs = deque()
         self.current_group: Optional[int] = None
         self.busy_intervals: List[BusyInterval] = []
         self.stats = DeviceStats()
@@ -152,12 +162,20 @@ class ColdStorageDevice:
                     drained.append(request)
         return drained
 
+    def submit_migration(self, job: MigrationJob) -> MigrationJob:
+        """Queue rebalancing I/O; served before foreground GETs."""
+        self.inbox.put(job)
+        return job
+
     # ------------------------------------------------------------------ #
     # Device main loop
     # ------------------------------------------------------------------ #
-    def _register(self, request: GetRequest) -> None:
-        group = self.layout.group_of(request.object_key)
-        self.scheduler.add_request(request, group)
+    def _register(self, item) -> None:
+        if isinstance(item, MigrationJob):
+            self._admin_jobs.append(item)
+            return
+        group = self.layout.group_of(item.object_key)
+        self.scheduler.add_request(item, group)
         self.stats.requests_received += 1
 
     def _drain_inbox(self) -> None:
@@ -170,6 +188,9 @@ class ColdStorageDevice:
     def _run(self):
         while True:
             self._drain_inbox()
+            if self._admin_jobs:
+                yield from self._perform_migration(self._admin_jobs.popleft())
+                continue
             if not self.scheduler.has_pending():
                 request = yield self.inbox.get()
                 self._register(request)
@@ -198,6 +219,51 @@ class ColdStorageDevice:
                 yield from self._serve(request, group)
                 quota -= 1
                 self._drain_inbox()
+
+    def _perform_migration(self, job: MigrationJob):
+        """Perform one rebalancing read/write, tracking interference.
+
+        The job counts as *interfering* when foreground work waited at the
+        device at any point while the migration I/O ran — the seconds the
+        rebalance stole from query traffic.  Sampled before *and* after the
+        I/O: requests arriving mid-job sit in the inbox (the device is busy
+        migrating) and must count too.
+        """
+        interfered = self.scheduler.has_pending()
+        start = self.env.now
+        if job.seconds > 0:
+            yield self.env.timeout(job.seconds)
+        end = self.env.now
+        # Only *foreground* arrivals count: the inbox may also hold further
+        # MigrationJobs (a later epoch's burst), which are not query traffic.
+        interfered = (
+            interfered
+            or self.scheduler.has_pending()
+            or any(isinstance(item, GetRequest) for item in self.inbox.items)
+        )
+        group = (
+            self.layout.group_of(job.object_key)
+            if self.layout.has_object(job.object_key)
+            else -1
+        )
+        tenant, _segment = split_object_key(job.object_key)
+        self.busy_intervals.append(
+            BusyInterval(
+                start=start,
+                end=end,
+                kind="migration",
+                group_id=group,
+                client_id=tenant,
+                query_id=f"migration:{job.direction}:epoch{job.epoch}",
+                object_key=job.object_key,
+            )
+        )
+        self.stats.migration_jobs += 1
+        self.stats.migration_seconds += end - start
+        if interfered:
+            self.stats.migration_interference_seconds += end - start
+        if job.notify is not None:
+            job.notify(job, start, end, interfered)
 
     def _switch_to(self, group: int):
         start = self.env.now

@@ -8,10 +8,12 @@ from repro.exceptions import LayoutError
 
 
 class DiskGroupLayout:
-    """Immutable mapping from object keys to disk-group identifiers.
+    """Mapping from object keys to disk-group identifiers.
 
     The CSD middleware in the paper keeps exactly this metadata: which group
-    each stored object lives on.  Group identifiers are small integers.
+    each stored object lives on.  Group identifiers are small integers.  The
+    mapping is append-only: rebalancing may :meth:`add_object` keys migrated
+    onto the device mid-run, but an object is never re-homed or removed.
     """
 
     def __init__(self, assignment: Mapping[str, int]) -> None:
@@ -34,6 +36,36 @@ class DiskGroupLayout:
     def group_ids(self) -> List[int]:
         """Sorted list of group identifiers."""
         return sorted(self._groups)
+
+    @property
+    def max_group_id(self) -> int:
+        """Largest group identifier in use."""
+        return max(self._groups)
+
+    def add_object(self, object_key: str, group_id: int) -> None:
+        """Place a new object into ``group_id`` (used by fleet rebalancing).
+
+        Existing objects cannot be re-homed; migrating a key onto a device
+        that already holds it is a layout bug upstream.
+        """
+        if group_id < 0:
+            raise LayoutError(f"object {object_key!r} assigned to negative group {group_id}")
+        if object_key in self._assignment:
+            raise LayoutError(f"object {object_key!r} is already placed by this layout")
+        self._assignment[object_key] = group_id
+        self._groups.setdefault(group_id, set()).add(object_key)
+
+    def tenant_group_map(self) -> Dict[str, int]:
+        """Lowest group id per tenant prefix, in one scan of the layout."""
+        lowest: Dict[str, int] = {}
+        for key, group in self._assignment.items():
+            tenant, separator, _rest = key.partition("/")
+            if not separator:
+                continue
+            current = lowest.get(tenant)
+            if current is None or group < current:
+                lowest[tenant] = group
+        return lowest
 
     def group_of(self, object_key: str) -> int:
         """Group holding ``object_key``."""

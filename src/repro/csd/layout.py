@@ -11,9 +11,10 @@ Every policy turns a mapping ``client -> [object keys]`` into a
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 from repro.csd.disk_group import DiskGroupLayout
+from repro.csd.object_store import split_object_key
 from repro.exceptions import LayoutError
 
 ClientObjects = Mapping[str, Sequence[str]]
@@ -150,6 +151,52 @@ class SkewedLayout(LayoutPolicy):
                     assignment[key] = group
             cursor += count
         return DiskGroupLayout(assignment)
+
+
+class TenantColocatedLayout(LayoutPolicy):
+    """Placement-aware layout: each tenant's shard lives in one disk group.
+
+    In fleet mode the router builds one layout *per device* over that
+    device's placement subset; this policy co-locates everything a tenant
+    stores on a device inside a single disk group, so a tenant's shard never
+    pays intra-device group switches against itself.  When rebalancing later
+    migrates more of the tenant's keys onto the device they join the
+    tenant's existing group (see :func:`extend_layout_with_keys`), keeping
+    the co-location guarantee across epochs.
+    """
+
+    def build(self, client_objects: ClientObjects) -> DiskGroupLayout:
+        self._validate(client_objects)
+        assignment: Dict[str, int] = {}
+        for position, (client, objects) in enumerate(client_objects.items()):
+            for key in objects:
+                assignment[key] = position
+        return DiskGroupLayout(assignment)
+
+
+def extend_layout_with_keys(layout: DiskGroupLayout, keys: Iterable[str]) -> List[int]:
+    """Home migrated ``keys`` on a device's existing layout (in given order).
+
+    The rule every layout shares under rebalancing: a key joins the lowest
+    disk group already holding its tenant's objects on this device; a tenant
+    new to the device opens a fresh group (keys of the same tenant within
+    one call stay together).  Returns the group chosen for each key.
+    """
+    groups: List[int] = []
+    # One scan up front instead of re-scanning the layout per key, so a
+    # rebalance of M keys onto a K-key device costs O(M + K), not O(M·K).
+    group_by_tenant = layout.tenant_group_map()
+    next_fresh = layout.max_group_id + 1
+    for key in keys:
+        tenant, _segment = split_object_key(key)
+        group = group_by_tenant.get(tenant)
+        if group is None:
+            group = next_fresh
+            group_by_tenant[tenant] = group
+            next_fresh += 1
+        layout.add_object(key, group)
+        groups.append(group)
+    return groups
 
 
 class CustomLayout(LayoutPolicy):

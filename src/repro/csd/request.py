@@ -1,19 +1,57 @@
-"""Object GET requests.
+"""Object GET requests and migration jobs.
 
-Each request is tagged with the issuing client and a query identifier — the
-"semantic information" the Skipper client proxy attaches so the CSD scheduler
-can reason about whole queries instead of isolated objects.
+Each GET request is tagged with the issuing client and a query identifier —
+the "semantic information" the Skipper client proxy attaches so the CSD
+scheduler can reason about whole queries instead of isolated objects.
+:class:`MigrationJob` is the other kind of work a device performs: bulk
+object copies charged by the fleet router while it rebalances after a
+membership change.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.events import Event
 
 _request_counter = itertools.count()
+
+
+class MigrationJob:
+    """One unit of rebalancing I/O: read or write of a migrating object.
+
+    Jobs are injected through the device inbox like GET requests but bypass
+    the query scheduler: the device performs them with priority over
+    foreground work (the window during which foreground requests were held
+    up is reported as migration interference).
+    """
+
+    __slots__ = ("object_key", "direction", "seconds", "epoch", "notify")
+
+    def __init__(
+        self,
+        object_key: str,
+        direction: str,
+        seconds: float,
+        epoch: int,
+        notify: Optional[Callable[["MigrationJob", float, float, bool], None]] = None,
+    ) -> None:
+        if direction not in ("read", "write"):
+            raise ValueError(f"migration direction must be read/write, got {direction!r}")
+        self.object_key = object_key
+        self.direction = direction
+        self.seconds = seconds
+        self.epoch = epoch
+        #: Called by the device as ``notify(job, start, end, interfered)``.
+        self.notify = notify
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MigrationJob {self.direction} {self.object_key} "
+            f"epoch={self.epoch} seconds={self.seconds}>"
+        )
 
 
 class GetRequest:

@@ -1,16 +1,35 @@
-"""Sharded multi-CSD serving: placement, routing, replication, failover.
+"""Sharded multi-CSD serving: placement, routing, replication, elasticity.
 
 The fleet layer composes N simulated Cold Storage Devices into one
 addressable storage service:
 
 * :mod:`repro.fleet.placement` — :class:`PlacementPolicy` with
   consistent-hashing and round-robin implementations plus R-way replication.
-* :mod:`repro.fleet.spec` — declarative :class:`FleetSpec` /
-  :class:`DeviceFailure`, embedded in scenario specs.
+* :mod:`repro.fleet.spec` — declarative :class:`FleetSpec` with
+  :class:`DeviceFailure`, membership events (:class:`DeviceJoin`,
+  :class:`DeviceLeave`) and heterogeneous :class:`DeviceProfile` overrides,
+  embedded in scenario specs.
+* :mod:`repro.fleet.membership` — :class:`FleetMembership`, the
+  epoch-versioned device roster advanced by every join/leave/failure.
+* :mod:`repro.fleet.migration` — minimal :class:`MigrationPlan` diffs
+  between placement epochs.
 * :mod:`repro.fleet.router` — :class:`FleetRouter`, the device-compatible
-  facade performing replica choice, failover and metric aggregation.
+  facade performing replica choice, failover, live rebalancing and metric
+  aggregation.
 """
 
+from repro.fleet.membership import (
+    EpochRecord,
+    FleetMembership,
+    MemberRecord,
+    resolve_device_config,
+)
+from repro.fleet.migration import (
+    MIGRATION_OBJECT_BYTES,
+    KeyMove,
+    MigrationPlan,
+    plan_migration,
+)
 from repro.fleet.placement import (
     DEFAULT_VIRTUAL_NODES,
     KNOWN_PLACEMENTS,
@@ -24,6 +43,9 @@ from repro.fleet.router import FleetMember, FleetRouter, FleetRouterStats
 from repro.fleet.spec import (
     KNOWN_REPLICA_POLICIES,
     DeviceFailure,
+    DeviceJoin,
+    DeviceLeave,
+    DeviceProfile,
     FleetSpec,
     device_name,
 )
@@ -32,15 +54,26 @@ __all__ = [
     "DEFAULT_VIRTUAL_NODES",
     "KNOWN_PLACEMENTS",
     "KNOWN_REPLICA_POLICIES",
+    "MIGRATION_OBJECT_BYTES",
     "ConsistentHashPlacement",
     "DeviceFailure",
+    "DeviceJoin",
+    "DeviceLeave",
+    "DeviceProfile",
+    "EpochRecord",
     "FleetMember",
+    "FleetMembership",
     "FleetRouter",
     "FleetRouterStats",
     "FleetSpec",
+    "KeyMove",
+    "MemberRecord",
+    "MigrationPlan",
     "PlacementPolicy",
     "RoundRobinPlacement",
     "build_placement",
     "device_name",
+    "plan_migration",
+    "resolve_device_config",
     "stable_hash",
 ]

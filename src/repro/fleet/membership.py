@@ -1,0 +1,242 @@
+"""Epoch-versioned fleet membership.
+
+:class:`FleetMembership` is the single source of truth for *who is in the
+fleet right now*: the ordered device roster, each device's (possibly
+heterogeneous) :class:`~repro.csd.device.DeviceConfig`, and the membership
+**epoch** — a counter advanced by every join, leave and failure.  The router
+consults it for placement device sets and exposes its epoch log so reports
+can attribute per-epoch metrics (imbalance, migration volume) to the exact
+membership window they were measured in.
+
+The membership itself performs no simulation events; advancing an epoch is
+pure bookkeeping, which is what keeps event-free fleets byte-identical to
+the pre-elastic fleet layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.csd.device import DeviceConfig
+from repro.exceptions import FleetError
+from repro.fleet.spec import DeviceJoin, DeviceProfile, FleetSpec, device_name
+
+
+@dataclass
+class MemberRecord:
+    """One device's membership state (runtime objects live in the router)."""
+
+    device_id: str
+    index: int
+    config: DeviceConfig
+    joined_at: float = 0.0
+    left_at: Optional[float] = None
+    failed_at: Optional[float] = None
+
+    @property
+    def serving(self) -> bool:
+        """Whether the device is a live placement target."""
+        return self.left_at is None and self.failed_at is None
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One membership change: which epoch it opened, when, and why."""
+
+    epoch: int
+    at_seconds: float
+    kind: str  # "join" | "leave" | "failure"
+    device_id: str
+    devices_before: int
+    devices_after: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "epoch": self.epoch,
+            "at_seconds": self.at_seconds,
+            "kind": self.kind,
+            "device": self.device_id,
+            "devices_before": self.devices_before,
+            "devices_after": self.devices_after,
+        }
+
+
+def resolve_device_config(
+    base: DeviceConfig,
+    switch_seconds: Optional[float] = None,
+    transfer_seconds: Optional[float] = None,
+) -> DeviceConfig:
+    """Derive a per-device config from the scenario-wide base config."""
+    if switch_seconds is None and transfer_seconds is None:
+        return base
+    return replace(
+        base,
+        group_switch_seconds=(
+            base.group_switch_seconds if switch_seconds is None else switch_seconds
+        ),
+        transfer_seconds_per_object=(
+            base.transfer_seconds_per_object
+            if transfer_seconds is None
+            else transfer_seconds
+        ),
+    )
+
+
+class FleetMembership:
+    """The live device roster plus the epoch counter over its history."""
+
+    def __init__(self, spec: FleetSpec, base_config: DeviceConfig) -> None:
+        self.spec = spec
+        self.base_config = base_config
+        self.epoch = 0
+        #: Every membership change, oldest first (epoch 0 has no record:
+        #: it is the initial roster).
+        self.epoch_log: List[EpochRecord] = []
+        self._profile_by_index: Dict[int, DeviceProfile] = {
+            profile.device: profile for profile in spec.profiles
+        }
+        self._records: Dict[str, MemberRecord] = {}
+        self._order: List[str] = []
+        for index in range(spec.devices):
+            profile = self._profile_by_index.get(index)
+            config = resolve_device_config(
+                base_config,
+                switch_seconds=profile.switch_seconds if profile else None,
+                transfer_seconds=profile.transfer_seconds if profile else None,
+            )
+            self._add_record(MemberRecord(device_name(index), index, config))
+
+    def _add_record(self, record: MemberRecord) -> None:
+        self._records[record.device_id] = record
+        self._order.append(record.device_id)
+
+    # ------------------------------------------------------------------ #
+    # Roster queries
+    # ------------------------------------------------------------------ #
+    def record(self, device_id: str) -> MemberRecord:
+        try:
+            return self._records[device_id]
+        except KeyError:
+            raise FleetError(f"unknown fleet member {device_id!r}") from None
+
+    @property
+    def records(self) -> List[MemberRecord]:
+        """Every device ever part of the fleet, in join order."""
+        return [self._records[device_id] for device_id in self._order]
+
+    def serving_ids(self) -> Tuple[str, ...]:
+        """Live placement targets (joined, not left, not failed), in order."""
+        return tuple(
+            device_id
+            for device_id in self._order
+            if self._records[device_id].serving
+        )
+
+    def device_config(self, device_id: str) -> DeviceConfig:
+        """The (possibly heterogeneous) config of one member."""
+        return self.record(device_id).config
+
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether any member's config differs from the base config."""
+        return any(record.config != self.base_config for record in self.records)
+
+    # ------------------------------------------------------------------ #
+    # Membership changes — each advances the epoch
+    # ------------------------------------------------------------------ #
+    def _advance(self, kind: str, device_id: str, at_seconds: float) -> EpochRecord:
+        if self.epoch_log and at_seconds < self.epoch_log[-1].at_seconds:
+            raise FleetError(
+                f"membership change at {at_seconds} precedes epoch "
+                f"{self.epoch}'s change at {self.epoch_log[-1].at_seconds}"
+            )
+        devices_before = len(self.serving_ids())
+        self.epoch += 1
+        record = EpochRecord(
+            epoch=self.epoch,
+            at_seconds=at_seconds,
+            kind=kind,
+            device_id=device_id,
+            devices_before=devices_before,
+            # Filled by the caller mutating the roster first would race; the
+            # roster is mutated before _advance in every path below.
+            devices_after=devices_before,
+        )
+        return record
+
+    def _join_config(self, event: DeviceJoin) -> DeviceConfig:
+        """Resolve a joiner's config: its own overrides win over its profile."""
+        profile = self._profile_by_index.get(event.device)
+        return resolve_device_config(
+            self.base_config,
+            switch_seconds=(
+                event.switch_seconds
+                if event.switch_seconds is not None
+                else (profile.switch_seconds if profile else None)
+            ),
+            transfer_seconds=(
+                event.transfer_seconds
+                if event.transfer_seconds is not None
+                else (profile.transfer_seconds if profile else None)
+            ),
+        )
+
+    def join(self, event: DeviceJoin, at_seconds: float) -> MemberRecord:
+        """Add the joining device to the roster and open a new epoch."""
+        device_id = device_name(event.device)
+        if device_id in self._records:
+            raise FleetError(f"device {device_id!r} is already a fleet member")
+        epoch = self._advance("join", device_id, at_seconds)
+        config = self._join_config(event)
+        member = MemberRecord(
+            device_id=device_id,
+            index=event.device,
+            config=config,
+            joined_at=at_seconds,
+        )
+        self._add_record(member)
+        self.epoch_log.append(
+            replace(epoch, devices_after=len(self.serving_ids()))
+        )
+        return member
+
+    def leave(self, device_id: str, at_seconds: float) -> MemberRecord:
+        """Gracefully retire a member and open a new epoch."""
+        member = self.record(device_id)
+        if not member.serving:
+            raise FleetError(f"device {device_id!r} is not serving; cannot leave")
+        epoch = self._advance("leave", device_id, at_seconds)
+        member.left_at = at_seconds
+        self.epoch_log.append(
+            replace(epoch, devices_after=len(self.serving_ids()))
+        )
+        return member
+
+    def fail(self, device_id: str, at_seconds: float) -> MemberRecord:
+        """Mark a member fail-stopped and open a new epoch (no migration)."""
+        member = self.record(device_id)
+        if not member.serving:
+            raise FleetError(f"device {device_id!r} is not serving; cannot fail")
+        epoch = self._advance("failure", device_id, at_seconds)
+        member.failed_at = at_seconds
+        self.epoch_log.append(
+            replace(epoch, devices_after=len(self.serving_ids()))
+        )
+        return member
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def epoch_windows(self, end_time: float) -> List[Tuple[int, float, float]]:
+        """``(epoch, start, end)`` windows covering ``[0, end_time]``."""
+        windows: List[Tuple[int, float, float]] = []
+        start = 0.0
+        epoch = 0
+        for record in self.epoch_log:
+            boundary = min(record.at_seconds, end_time)
+            windows.append((epoch, start, boundary))
+            start = boundary
+            epoch = record.epoch
+        windows.append((epoch, start, max(start, end_time)))
+        return windows

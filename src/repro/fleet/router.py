@@ -1,7 +1,8 @@
 """The fleet router: one addressable storage service over N devices.
 
 The router composes N independent :class:`~repro.csd.device.ColdStorageDevice`
-instances — each with its own disk-group layout and its own I/O scheduler —
+instances — each with its own disk-group layout, its own I/O scheduler and
+its own (possibly heterogeneous) :class:`~repro.csd.device.DeviceConfig` —
 behind the exact ``submit()`` interface clients already speak, so executors
 and client proxies are oblivious to whether they talk to one device or to a
 sharded fleet.
@@ -10,12 +11,21 @@ Responsibilities:
 
 * **Routing** — every GET is dispatched to one live replica of its object,
   chosen by the replica policy (primary-first or least-loaded).
-* **Failover** — when a device fails (fail-stop at a scheduled time), the
-  requests still queued on it are pulled back and re-routed to surviving
-  replicas; nothing is lost as long as replication >= 2.
+* **Membership** — the device roster is epoch-versioned
+  (:class:`~repro.fleet.membership.FleetMembership`): a
+  :class:`~repro.fleet.spec.DeviceJoin` or
+  :class:`~repro.fleet.spec.DeviceLeave` advances the epoch, deterministically
+  recomputes the consistent-hash placement over the new roster and executes
+  the **minimal migration plan** — only keys whose replica set changed move,
+  with the migration I/O charged to the source and destination devices as
+  priority work that measurably interferes with foreground traffic.
+* **Failover / handoff** — when a device fails (fail-stop) its queued
+  requests are pulled back and re-routed to surviving replicas; when a
+  device leaves gracefully its queue is handed off to the new owners of its
+  keys.  Nothing is lost in either case.
 * **Aggregation** — per-device busy-interval streams are merged (ordered by
   completion) for the metrics layer, and per-device counters are combined
-  into fleet-level statistics.
+  into fleet-level statistics, including a per-epoch imbalance series.
 """
 
 from __future__ import annotations
@@ -24,13 +34,15 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.csd.device import BusyInterval, ColdStorageDevice, DeviceConfig, DeviceStats
-from repro.csd.layout import LayoutPolicy
+from repro.csd.layout import LayoutPolicy, extend_layout_with_keys
 from repro.csd.object_store import ObjectStore, split_object_key
-from repro.csd.request import GetRequest
+from repro.csd.request import GetRequest, MigrationJob
 from repro.csd.scheduler import IOScheduler
 from repro.exceptions import FleetError
+from repro.fleet.membership import FleetMembership, MemberRecord
+from repro.fleet.migration import MigrationPlan, plan_migration
 from repro.fleet.placement import build_placement
-from repro.fleet.spec import DeviceFailure, FleetSpec
+from repro.fleet.spec import DeviceFailure, DeviceJoin, DeviceLeave, FleetSpec, device_name
 from repro.sim import Environment
 
 SchedulerFactory = Callable[[], IOScheduler]
@@ -48,6 +60,8 @@ class FleetMember:
     object_keys: Tuple[str, ...]
     alive: bool = True
     failed_at: Optional[float] = None
+    joined_at: float = 0.0
+    left_at: Optional[float] = None
     #: Requests routed to this device (including later failed-over ones).
     requests_routed: int = 0
     #: Routed but not yet completed (drives the least-loaded policy).
@@ -71,6 +85,8 @@ class FleetRouterStats:
 
     requests_routed: int = 0
     failed_over: int = 0
+    #: Requests handed off from a gracefully leaving device's queue.
+    handed_off: int = 0
     per_tenant_device_served: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def record_served(self, tenant: str, device_id: str) -> None:
@@ -79,7 +95,7 @@ class FleetRouterStats:
 
 
 class FleetRouter:
-    """Dispatches GET requests across a sharded, replicated device fleet."""
+    """Dispatches GET requests across a sharded, replicated, elastic fleet."""
 
     def __init__(
         self,
@@ -95,54 +111,104 @@ class FleetRouter:
         self.object_store = object_store
         self.spec = fleet_spec
         self.stats = FleetRouterStats()
+        self.layout_policy = layout_policy
+        self.scheduler_factory = scheduler_factory
+        #: Epoch-versioned roster: who is in the fleet, with which config.
+        self.membership = FleetMembership(
+            fleet_spec, device_config or DeviceConfig()
+        )
+        #: Migration plans executed so far, one per join/leave epoch.
+        self.migration_plans: List[MigrationPlan] = []
 
-        device_ids = list(fleet_spec.device_ids)
-        all_keys = [key for keys in client_objects.values() for key in keys]
-        policy = build_placement(
+        # Preserve each client's object order; placement recomputes and
+        # per-device subsets all derive from this one ordering.
+        self.client_objects: Dict[str, List[str]] = {
+            client: list(keys) for client, keys in client_objects.items()
+        }
+        self._key_order: List[str] = [
+            key for keys in self.client_objects.values() for key in keys
+        ]
+        self._policy = build_placement(
             fleet_spec.placement,
             fleet_spec.replication,
             virtual_nodes=fleet_spec.virtual_nodes,
         )
-        #: object key -> replica device ids, primary first.
-        self.placement: Dict[str, Tuple[str, ...]] = policy.place(all_keys, device_ids)
+        #: object key -> replica device ids, primary first (current epoch).
+        self.placement: Dict[str, Tuple[str, ...]] = self._policy.place(
+            self._key_order, list(fleet_spec.device_ids)
+        )
 
         self.members: List[FleetMember] = []
         self._member_by_id: Dict[str, FleetMember] = {}
         #: Member currently responsible for each in-flight request
-        #: (re-pointed on failover, popped when the completion fires).
+        #: (re-pointed on failover/handoff, popped when the completion fires).
         self._owner_by_request: Dict[int, FleetMember] = {}
-        for index, device_id in enumerate(device_ids):
-            # Preserve each client's object order within the device so the
-            # per-device disk-group layouts mirror the single-device ones.
-            subset = {
-                client: [
-                    key for key in keys if device_id in self.placement[key]
-                ]
-                for client, keys in client_objects.items()
-            }
-            subset = {client: keys for client, keys in subset.items() if keys}
-            device: Optional[ColdStorageDevice] = None
-            member_keys: Tuple[str, ...] = tuple(
-                key for keys in subset.values() for key in keys
-            )
-            if subset:
-                device = ColdStorageDevice(
-                    env=env,
-                    object_store=object_store,
-                    layout=layout_policy.build(subset),
-                    scheduler=scheduler_factory(),
-                    config=device_config,
-                )
-            member = FleetMember(
-                device_id=device_id, index=index, device=device, object_keys=member_keys
-            )
-            self.members.append(member)
-            self._member_by_id[device_id] = member
+        for record in self.membership.records:
+            self._create_member(record, self._subset_for(record.device_id))
 
+        #: Failure/membership processes; their exceptions would otherwise be
+        #: recorded on the process event with no waiter and silently lost,
+        #: so the service re-raises them after (or instead of) a stuck run.
+        self.admin_processes = []
         for failure in fleet_spec.failures:
-            env.process(
-                self._fail_device(failure), name=f"fleet-failure:{failure.device}"
+            self.admin_processes.append(
+                env.process(
+                    self._fail_device(failure), name=f"fleet-failure:{failure.device}"
+                )
             )
+        for event in fleet_spec.events:
+            kind = "join" if isinstance(event, DeviceJoin) else "leave"
+            self.admin_processes.append(
+                env.process(
+                    self._membership_event(event), name=f"fleet-{kind}:{event.device}"
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def _holds_object(self, device_id: str, object_key: str) -> bool:
+        """Whether ``device_id`` already physically stores ``object_key``."""
+        member = self._member_by_id.get(device_id)
+        return (
+            member is not None
+            and member.device is not None
+            and member.device.layout.has_object(object_key)
+        )
+
+    def _subset_for(self, device_id: str) -> Dict[str, List[str]]:
+        """Current-placement keys of ``device_id``, grouped by client."""
+        subset = {
+            client: [key for key in keys if device_id in self.placement[key]]
+            for client, keys in self.client_objects.items()
+        }
+        return {client: keys for client, keys in subset.items() if keys}
+
+    def _create_member(
+        self, record: MemberRecord, subset: Mapping[str, Sequence[str]]
+    ) -> FleetMember:
+        device: Optional[ColdStorageDevice] = None
+        member_keys: Tuple[str, ...] = tuple(
+            key for keys in subset.values() for key in keys
+        )
+        if subset:
+            device = ColdStorageDevice(
+                env=self.env,
+                object_store=self.object_store,
+                layout=self.layout_policy.build(subset),
+                scheduler=self.scheduler_factory(),
+                config=record.config,
+            )
+        member = FleetMember(
+            device_id=record.device_id,
+            index=record.index,
+            device=device,
+            object_keys=member_keys,
+            joined_at=record.joined_at,
+        )
+        self.members.append(member)
+        self._member_by_id[record.device_id] = member
+        return member
 
     # ------------------------------------------------------------------ #
     # Client-facing API (same shape as ColdStorageDevice)
@@ -201,12 +267,13 @@ class FleetRouter:
         return live[0]
 
     # ------------------------------------------------------------------ #
-    # Failure handling
+    # Failure handling (fail-stop: epoch advances, no migration)
     # ------------------------------------------------------------------ #
     def _fail_device(self, failure: DeviceFailure):
         if failure.at_seconds > 0:
             yield self.env.timeout(failure.at_seconds)
-        member = self.members[failure.device]
+        member = self._member_by_id[device_name(failure.device)]
+        self.membership.fail(member.device_id, self.env.now)
         member.alive = False
         member.failed_at = self.env.now
         device = member.device
@@ -220,8 +287,147 @@ class FleetRouter:
             self.submit(request)
 
     # ------------------------------------------------------------------ #
+    # Membership events (joins / graceful leaves → epoch + migration)
+    # ------------------------------------------------------------------ #
+    def _membership_event(self, event):
+        if event.at_seconds > 0:
+            yield self.env.timeout(event.at_seconds)
+        if isinstance(event, DeviceJoin):
+            self._apply_join(event)
+        elif isinstance(event, DeviceLeave):
+            self._apply_leave(event)
+        else:  # pragma: no cover - spec validation rejects other types
+            raise FleetError(f"unknown membership event {event!r}")
+
+    def _apply_join(self, event: DeviceJoin) -> None:
+        record = self.membership.join(event, self.env.now)
+        self._create_member(record, {})
+        self._rebalance("join", record.device_id)
+
+    def _apply_leave(self, event: DeviceLeave) -> None:
+        device_id = device_name(event.device)
+        member = self._member_by_id.get(device_id)
+        if member is None or not member.alive:
+            raise FleetError(f"device {device_id!r} cannot leave: not a live member")
+        self.membership.leave(device_id, self.env.now)
+        member.alive = False
+        member.left_at = self.env.now
+        # Hand the leaver's queue off *after* the placement recompute so the
+        # drained requests land on their new owners; the in-flight transfer
+        # (if any) completes on the leaver, exactly like fail-stop drains.
+        drained: List[GetRequest] = []
+        if member.device is not None:
+            drained = member.device.drain_pending()
+            for _request in drained:
+                member.outstanding -= 1
+                self.stats.handed_off += 1
+        self._rebalance("leave", device_id)
+        for request in drained:
+            self.submit(request)
+
+    def _rebalance(self, kind: str, device_id: str) -> None:
+        """Advance placement to the new epoch and execute the minimal plan."""
+        epoch_record = self.membership.epoch_log[-1]
+        old_placement = self.placement
+        new_placement = self._policy.place(
+            self._key_order, list(self.membership.serving_ids())
+        )
+        alive = {member.device_id: member.alive for member in self.members}
+        plan = plan_migration(
+            epoch=epoch_record.epoch,
+            at_seconds=self.env.now,
+            kind=kind,
+            device_id=device_id,
+            old_placement=old_placement,
+            new_placement=new_placement,
+            alive=alive,
+            devices_before=epoch_record.devices_before,
+            devices_after=epoch_record.devices_after,
+            replication=self.spec.replication,
+            # Layouts are append-only, so a device that held a key in an
+            # earlier epoch still physically has it: re-adopting such a
+            # replica costs no migration I/O.
+            resident=self._holds_object,
+        )
+        self.placement = new_placement
+        self._execute_plan(plan)
+        self.migration_plans.append(plan)
+
+    def _execute_plan(self, plan: MigrationPlan) -> None:
+        """Extend destination layouts and charge the migration I/O."""
+        gained: Dict[str, List[str]] = {}
+        for move in plan.moves:
+            gained.setdefault(move.dest, []).append(move.object_key)
+        # Destinations in roster order: deterministic layout/group assignment.
+        for member in self.members:
+            keys = gained.get(member.device_id)
+            if not keys:
+                continue
+            gained_set = set(keys)
+            # Keys in client order, mirroring how initial layouts are built.
+            ordered = [
+                key
+                for client_keys in self.client_objects.values()
+                for key in client_keys
+                if key in gained_set
+            ]
+            if member.device is None:
+                # A device with no ColdStorageDevice held nothing before, so
+                # its gained keys are exactly its subset of the (already
+                # updated) current placement.
+                record = self.membership.record(member.device_id)
+                member.device = ColdStorageDevice(
+                    env=self.env,
+                    object_store=self.object_store,
+                    layout=self.layout_policy.build(self._subset_for(member.device_id)),
+                    scheduler=self.scheduler_factory(),
+                    config=record.config,
+                )
+            else:
+                extend_layout_with_keys(member.device.layout, ordered)
+            member.object_keys = member.object_keys + tuple(ordered)
+
+        def _account(job: MigrationJob, start: float, end: float, _interfered: bool,
+                     plan: MigrationPlan = plan) -> None:
+            plan.migration_seconds += end - start
+
+        for move in plan.moves:
+            source = self._member_by_id.get(move.source)
+            dest = self._member_by_id[move.dest]
+            if source is not None and source.device is not None:
+                source.device.submit_migration(
+                    MigrationJob(
+                        object_key=move.object_key,
+                        direction="read",
+                        seconds=source.device.config.transfer_seconds_per_object,
+                        epoch=plan.epoch,
+                        notify=_account,
+                    )
+                )
+            dest.device.submit_migration(
+                MigrationJob(
+                    object_key=move.object_key,
+                    direction="write",
+                    seconds=dest.device.config.transfer_seconds_per_object,
+                    epoch=plan.epoch,
+                    notify=_account,
+                )
+            )
+
+    def raise_admin_failure(self) -> None:
+        """Re-raise the first exception a failure/membership process died of."""
+        for process in self.admin_processes:
+            if process.exception is not None:
+                raise process.exception
+
+    # ------------------------------------------------------------------ #
     # Aggregated views for the metrics / invariants layers
     # ------------------------------------------------------------------ #
+    @property
+    def epoch(self) -> int:
+        """Current membership epoch (0 until the first membership change)."""
+        return self.membership.epoch
+
     @property
     def busy_intervals(self) -> List[BusyInterval]:
         """All devices' busy intervals merged in completion order."""
@@ -243,6 +449,11 @@ class FleetRouter:
             combined.objects_served += stats.objects_served
             combined.group_switches += stats.group_switches
             combined.requests_received += stats.requests_received
+            combined.migration_jobs += stats.migration_jobs
+            combined.migration_seconds += stats.migration_seconds
+            combined.migration_interference_seconds += (
+                stats.migration_interference_seconds
+            )
             for client_id, count in stats.objects_per_client.items():
                 combined.objects_per_client[client_id] = (
                     combined.objects_per_client.get(client_id, 0) + count
@@ -270,11 +481,74 @@ class FleetRouter:
         """Requests still queued anywhere in the fleet (0 after a clean run)."""
         return sum(member.pending_requests() for member in self.members)
 
+    def _window_busy(self, member: FleetMember, start: float, end: float) -> float:
+        """Busy seconds of ``member`` inside the window ``[start, end]``."""
+        if member.device is None:
+            return 0.0
+        return sum(
+            max(0.0, min(interval.end, end) - max(interval.start, start))
+            for interval in member.device.busy_intervals
+        )
+
+    def per_epoch_imbalance(self, total_simulated_time: float) -> List[Dict[str, object]]:
+        """Imbalance coefficient of each epoch's membership window.
+
+        Every membership change opens a new epoch, so the member set is
+        constant inside each window; a member belongs to a window when it had
+        joined by the window's start and neither left nor failed before its
+        end.
+        """
+        from repro.cluster.metrics import imbalance_coefficient
+
+        series: List[Dict[str, object]] = []
+        for epoch, start, end in self.membership.epoch_windows(total_simulated_time):
+            present = [
+                member
+                for member in self.members
+                if member.joined_at <= start
+                and (member.left_at is None or member.left_at >= end)
+                and (member.failed_at is None or member.failed_at >= end)
+            ]
+            busy = [self._window_busy(member, start, end) for member in present]
+            series.append(
+                {
+                    "epoch": epoch,
+                    "start": start,
+                    "end": end,
+                    "devices": len(present),
+                    "imbalance_coefficient": imbalance_coefficient(busy),
+                }
+            )
+        return series
+
+    def rebalance_metrics(self, total_simulated_time: float) -> Dict[str, object]:
+        """The ``rebalance`` section of the scenario report."""
+        stats = self.device_stats
+        return {
+            "epoch": self.membership.epoch,
+            "events": [record.to_dict() for record in self.membership.epoch_log],
+            "plans": [plan.to_dict() for plan in self.migration_plans],
+            "keys_moved_total": sum(plan.keys_moved for plan in self.migration_plans),
+            "objects_migrated_total": sum(
+                plan.objects_migrated for plan in self.migration_plans
+            ),
+            "bytes_migrated_total": sum(
+                plan.bytes_migrated for plan in self.migration_plans
+            ),
+            "naive_reshuffle_keys": sum(
+                plan.total_keys for plan in self.migration_plans
+            ),
+            "migration_seconds_total": stats.migration_seconds,
+            "interference_seconds_total": stats.migration_interference_seconds,
+            "handed_off_requests": self.stats.handed_off,
+            "per_epoch_imbalance": self.per_epoch_imbalance(total_simulated_time),
+        }
+
     def metrics(self, total_simulated_time: float) -> Dict[str, object]:
         """Fleet-level metrics section of the scenario report."""
         # Imported here, not at module level: repro.cluster composes the
         # fleet router, so a top-level import would be circular.
-        from repro.cluster.metrics import jain_fairness
+        from repro.cluster.metrics import imbalance_coefficient, jain_fairness
 
         per_device: Dict[str, Dict[str, object]] = {}
         busy_values: List[float] = []
@@ -295,15 +569,6 @@ class FleetRouter:
                     busy / total_simulated_time if total_simulated_time > 0 else 0.0
                 ),
             }
-
-        mean_busy = sum(busy_values) / len(busy_values)
-        if mean_busy > 0:
-            variance = sum((value - mean_busy) ** 2 for value in busy_values) / len(
-                busy_values
-            )
-            imbalance = variance**0.5 / mean_busy
-        else:
-            imbalance = 0.0
 
         served_by_tenant = {
             tenant: sum(per_device_counts.values())
@@ -333,7 +598,7 @@ class FleetRouter:
             "placement": self.spec.placement,
             "replica_policy": self.spec.replica_policy,
             "per_device": per_device,
-            "imbalance_coefficient": imbalance,
+            "imbalance_coefficient": imbalance_coefficient(busy_values),
             "aggregate_throughput": (
                 total_served / total_simulated_time if total_simulated_time > 0 else 0.0
             ),

@@ -6,13 +6,19 @@ knobs are: the scenario runner resolves it into a live
 :class:`~repro.fleet.router.FleetRouter`.  ``devices=1, replication=1`` is
 the degenerate single-CSD setup the original paper reproduces; anything
 larger turns the run into a sharded multi-device experiment.
+
+Beyond the static shape (size, replication, placement) a fleet can be
+*elastic*: ``events`` lists membership changes — :class:`DeviceJoin` and
+:class:`DeviceLeave` — that fire at fixed simulated times and advance the
+fleet's placement epoch, and ``profiles`` makes the fleet *heterogeneous* by
+overriding individual devices' switch/transfer latencies.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.exceptions import ScenarioError
 from repro.fleet.placement import DEFAULT_VIRTUAL_NODES, KNOWN_PLACEMENTS
@@ -26,13 +32,22 @@ def device_name(index: int) -> str:
     return f"csd{index}"
 
 
+def _validate_event_time(label: str, at_seconds: float) -> None:
+    if not math.isfinite(at_seconds) or at_seconds < 0:
+        raise ScenarioError(
+            f"{label} time must be finite and non-negative, got {at_seconds!r}"
+        )
+
+
 @dataclass(frozen=True)
 class DeviceFailure:
     """A device going dark (fail-stop) at a fixed simulated time.
 
     The device finishes the transfer it is performing at that instant, then
     stops serving; every request still queued on it is failed over to a live
-    replica by the router.
+    replica by the router.  A failure advances the fleet's membership epoch
+    but — unlike a graceful :class:`DeviceLeave` — triggers no migration:
+    the dead device's data is simply re-served from surviving replicas.
     """
 
     device: int
@@ -41,18 +56,122 @@ class DeviceFailure:
     def __post_init__(self) -> None:
         if self.device < 0:
             raise ScenarioError(f"failure device index must be >= 0, got {self.device}")
-        if not math.isfinite(self.at_seconds) or self.at_seconds < 0:
-            raise ScenarioError(
-                f"failure time must be finite and non-negative, got {self.at_seconds!r}"
-            )
+        _validate_event_time("failure", self.at_seconds)
 
     def to_dict(self) -> Dict[str, object]:
         return {"device": self.device, "at_seconds": self.at_seconds}
 
 
 @dataclass(frozen=True)
+class DeviceJoin:
+    """A new device joining the fleet at a fixed simulated time.
+
+    The join advances the membership epoch: placement is recomputed over the
+    enlarged fleet and only the keys whose replica set changed are migrated
+    onto the joiner (consistent hashing keeps that to ~R·K/(N+1) of K keys).
+    ``switch_seconds`` / ``transfer_seconds`` optionally give the joiner its
+    own device profile (e.g. a faster generation of hardware).
+    """
+
+    device: int
+    at_seconds: float
+    switch_seconds: Optional[float] = None
+    transfer_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.device < 0:
+            raise ScenarioError(f"join device index must be >= 0, got {self.device}")
+        _validate_event_time("join", self.at_seconds)
+        for label, value in (
+            ("switch_seconds", self.switch_seconds),
+            ("transfer_seconds", self.transfer_seconds),
+        ):
+            if value is None:
+                continue
+            if not math.isfinite(value) or value < 0:
+                raise ScenarioError(
+                    f"join {label} must be finite and non-negative, got {value!r}"
+                )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "join",
+            "device": self.device,
+            "at_seconds": self.at_seconds,
+            "switch_seconds": self.switch_seconds,
+            "transfer_seconds": self.transfer_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class DeviceLeave:
+    """A device leaving the fleet gracefully at a fixed simulated time.
+
+    The leave advances the membership epoch: placement is recomputed over
+    the shrunken fleet, the leaver's queued requests are handed off to the
+    new owners, and every key that held a replica on the leaver is migrated
+    (read charged to a surviving source, write to the destination) before
+    the device is decommissioned.
+    """
+
+    device: int
+    at_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.device < 0:
+            raise ScenarioError(f"leave device index must be >= 0, got {self.device}")
+        _validate_event_time("leave", self.at_seconds)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": "leave", "device": self.device, "at_seconds": self.at_seconds}
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Per-device latency overrides making the fleet heterogeneous.
+
+    ``None`` fields inherit the scenario-wide device config, so a profile
+    can make one device slower at switching, faster at transferring, or
+    both.
+    """
+
+    device: int
+    switch_seconds: Optional[float] = None
+    transfer_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.device < 0:
+            raise ScenarioError(f"profile device index must be >= 0, got {self.device}")
+        if self.switch_seconds is None and self.transfer_seconds is None:
+            raise ScenarioError(
+                f"profile for device {self.device} overrides nothing; drop it"
+            )
+        for label, value in (
+            ("switch_seconds", self.switch_seconds),
+            ("transfer_seconds", self.transfer_seconds),
+        ):
+            if value is None:
+                continue
+            if not math.isfinite(value) or value < 0:
+                raise ScenarioError(
+                    f"profile {label} must be finite and non-negative, got {value!r}"
+                )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "device": self.device,
+            "switch_seconds": self.switch_seconds,
+            "transfer_seconds": self.transfer_seconds,
+        }
+
+
+#: Membership events accepted by ``FleetSpec.events``.
+MembershipEvent = (DeviceJoin, DeviceLeave)
+
+
+@dataclass(frozen=True)
 class FleetSpec:
-    """Sharded multi-device fleet: size, replication, placement, failures."""
+    """Sharded multi-device fleet: size, replication, placement, elasticity."""
 
     devices: int = 2
     replication: int = 1
@@ -60,6 +179,10 @@ class FleetSpec:
     replica_policy: str = "primary-first"
     virtual_nodes: int = DEFAULT_VIRTUAL_NODES
     failures: Tuple[DeviceFailure, ...] = ()
+    #: Membership changes (joins / graceful leaves) fired at simulated times.
+    events: Tuple[object, ...] = ()
+    #: Per-device latency overrides (heterogeneous fleets).
+    profiles: Tuple[DeviceProfile, ...] = ()
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -81,6 +204,11 @@ class FleetSpec:
             )
         if self.virtual_nodes < 1:
             raise ScenarioError(f"virtual_nodes must be >= 1, got {self.virtual_nodes}")
+        self._validate_failures()
+        self._validate_events()
+        self._validate_profiles()
+
+    def _validate_failures(self) -> None:
         failed = [failure.device for failure in self.failures]
         if any(index >= self.devices for index in failed):
             raise ScenarioError(
@@ -99,10 +227,122 @@ class FleetSpec:
                 "otherwise some object could lose every replica"
             )
 
+    def _validate_events(self) -> None:
+        if not self.events:
+            return
+        if self.placement != "consistent-hash":
+            raise ScenarioError(
+                "membership events require consistent-hash placement; "
+                f"{self.placement!r} would reshuffle nearly every key on a "
+                "membership change"
+            )
+        joins = [event for event in self.events if isinstance(event, DeviceJoin)]
+        leaves = [event for event in self.events if isinstance(event, DeviceLeave)]
+        if len(joins) + len(leaves) != len(self.events):
+            bad = next(
+                event
+                for event in self.events
+                if not isinstance(event, MembershipEvent)
+            )
+            raise ScenarioError(
+                f"fleet events must be DeviceJoin or DeviceLeave, got {bad!r} "
+                "(device failures go in FleetSpec.failures)"
+            )
+        join_indexes = [event.device for event in joins]
+        if any(index < self.devices for index in join_indexes):
+            raise ScenarioError(
+                f"joining devices must use fresh indexes >= {self.devices} "
+                f"(the initial fleet is csd0..csd{self.devices - 1})"
+            )
+        if len(set(join_indexes)) != len(join_indexes):
+            raise ScenarioError("each device may join at most once")
+        join_time_by_index = {event.device: event.at_seconds for event in joins}
+        leave_indexes = [event.device for event in leaves]
+        if len(set(leave_indexes)) != len(leave_indexes):
+            raise ScenarioError("each device may leave at most once")
+        failed_indexes = {failure.device for failure in self.failures}
+        for leave in leaves:
+            if leave.device in failed_indexes:
+                raise ScenarioError(
+                    f"device {leave.device} both fails and leaves; pick one"
+                )
+            if leave.device >= self.devices:
+                joined_at = join_time_by_index.get(leave.device)
+                if joined_at is None:
+                    raise ScenarioError(
+                        f"device {leave.device} leaves but never joins the fleet"
+                    )
+                if joined_at >= leave.at_seconds:
+                    raise ScenarioError(
+                        f"device {leave.device} must join strictly before it leaves"
+                    )
+        # Walk the membership changes in the exact order they fire at run
+        # time — by timestamp, ties broken by process-creation order
+        # (failures are registered before events, each in listed order) —
+        # and reject any point where the serving fleet dips below R.  The
+        # final count alone is not enough: a leave can transiently
+        # under-replicate the fleet even if a later join restores it.
+        changes = [
+            (failure.at_seconds, index, -1, False)
+            for index, failure in enumerate(self.failures)
+        ] + [
+            (
+                event.at_seconds,
+                len(self.failures) + index,
+                1 if isinstance(event, DeviceJoin) else -1,
+                True,
+            )
+            for index, event in enumerate(self.events)
+        ]
+        serving = self.devices
+        for _at, _order, delta, recomputes in sorted(changes):
+            serving += delta
+            # Fail-stop losses route around the dead replicas without a
+            # placement recompute; only joins/leaves re-place over the
+            # serving set, which must then hold at least R devices.
+            if recomputes and serving < self.replication:
+                raise ScenarioError(
+                    f"membership timeline drops the fleet to {serving} "
+                    f"serving device(s), below the replication factor "
+                    f"{self.replication}; reorder the events or lower R"
+                )
+
+    def _validate_profiles(self) -> None:
+        known = set(range(self.devices)) | {
+            event.device for event in self.events if isinstance(event, DeviceJoin)
+        }
+        profiled = [profile.device for profile in self.profiles]
+        if len(set(profiled)) != len(profiled):
+            raise ScenarioError("each device may carry at most one profile")
+        for profile in self.profiles:
+            if profile.device not in known:
+                raise ScenarioError(
+                    f"profile for unknown device index {profile.device} "
+                    f"(fleet has csd0..csd{self.devices - 1} plus joins)"
+                )
+
     @property
     def device_ids(self) -> Tuple[str, ...]:
-        """Canonical identifiers of every device in the fleet."""
+        """Canonical identifiers of the fleet's *initial* devices."""
         return tuple(device_name(index) for index in range(self.devices))
+
+    @property
+    def joins(self) -> Tuple[DeviceJoin, ...]:
+        """The join events, in listed order."""
+        return tuple(event for event in self.events if isinstance(event, DeviceJoin))
+
+    @property
+    def leaves(self) -> Tuple[DeviceLeave, ...]:
+        """The leave events, in listed order."""
+        return tuple(event for event in self.events if isinstance(event, DeviceLeave))
+
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether any device deviates from the scenario-wide config."""
+        return bool(self.profiles) or any(
+            event.switch_seconds is not None or event.transfer_seconds is not None
+            for event in self.joins
+        )
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -112,4 +352,6 @@ class FleetSpec:
             "replica_policy": self.replica_policy,
             "virtual_nodes": self.virtual_nodes,
             "failures": [failure.to_dict() for failure in self.failures],
+            "events": [event.to_dict() for event in self.events],
+            "profiles": [profile.to_dict() for profile in self.profiles],
         }

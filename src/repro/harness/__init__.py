@@ -9,7 +9,7 @@ summary that the benchmarks print and EXPERIMENTS.md records.
 tables.
 """
 
-from repro.harness.tables import format_table, render_mapping
+from repro.harness.tables import format_admission_table, format_table, render_mapping
 from repro.harness import experiments
 
-__all__ = ["experiments", "format_table", "render_mapping"]
+__all__ = ["experiments", "format_admission_table", "format_table", "render_mapping"]

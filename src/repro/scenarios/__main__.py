@@ -98,8 +98,12 @@ def _render_scenario_table(golden_dir: Optional[Path] = None) -> str:
         queries = sum(len(tenant.queries) * tenant.repetitions for tenant in spec.tenants)
         if spec.fleet is not None:
             devices = f"{spec.fleet.devices} x R{spec.fleet.replication}"
+            events = _render_membership(spec.fleet)
+            hetero = "mixed" if spec.fleet.heterogeneous else "-"
         else:
             devices = "1"
+            events = "-"
+            hetero = "-"
         if spec.admission is not None:
             caps = (
                 spec.admission.max_in_flight,
@@ -117,15 +121,44 @@ def _render_scenario_table(golden_dir: Optional[Path] = None) -> str:
                 queries,
                 spec.scale,
                 devices,
+                events,
+                hetero,
                 admission,
                 f"{budget:.1f}" if budget is not None else "-",
             ]
         )
     return format_table(
-        ["scenario", "tenants", "queries", "scale", "devices", "admission", "sim budget (s)"],
+        [
+            "scenario",
+            "tenants",
+            "queries",
+            "scale",
+            "devices",
+            "membership",
+            "hetero",
+            "admission",
+            "sim budget (s)",
+        ],
         rows,
         title=f"{len(rows)} registered scenarios",
     )
+
+
+def _render_membership(fleet) -> str:
+    """Compact membership-event summary for the ``--list`` table.
+
+    Joins render as ``+csdN@Ts``, graceful leaves as ``-csdN@Ts`` and
+    fail-stop losses as ``xcsdN@Ts``; a static fleet shows ``-``.
+    """
+    from repro.fleet.spec import DeviceJoin
+
+    parts = []
+    for event in fleet.events:
+        sign = "+" if isinstance(event, DeviceJoin) else "-"
+        parts.append(f"{sign}csd{event.device}@{event.at_seconds:g}s")
+    for failure in fleet.failures:
+        parts.append(f"xcsd{failure.device}@{failure.at_seconds:g}s")
+    return " ".join(parts) if parts else "-"
 
 
 def _digest(report_json: str) -> str:
@@ -169,10 +202,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"FAIL budgets\n{error}", file=sys.stderr)
             budgets = None
         failures = 1 if budgets is None else 0
+        total_wall = 0.0
         for outcome in run_scenarios(scenario_names(), jobs=arguments.jobs):
             # Keep checking the remaining scenarios whatever one of them
             # raises (invariant violation, golden drift, blown budget, ...),
             # so CI shows the full per-scenario picture, not the first error.
+            total_wall += outcome.wall_seconds or 0.0
             if not outcome.ok:
                 failures += 1
                 _print_failure(outcome)
@@ -189,7 +224,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 failures += 1
                 print(f"FAIL {outcome.name}\n{error}", file=sys.stderr)
             else:
-                print(f"ok   {outcome.name}")
+                # Wall time is reported (not budgeted): simulated-time budgets
+                # are deterministic, wall time is the machine-dependent cost.
+                print(
+                    f"ok   {outcome.name:28s} sim={outcome.simulated_time:10.3f}s  "
+                    f"wall={outcome.wall_seconds:6.2f}s"
+                )
+        print(f"checked {len(scenario_names())} scenarios in {total_wall:.2f}s wall time")
         return 1 if failures else 0
 
     if arguments.regen_budgets:

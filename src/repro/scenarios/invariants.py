@@ -21,6 +21,12 @@ must hold for *any* configuration:
 * **Fleet failover** (fleet runs with failures) — dead devices start no work
   after their failure instant and no request is left queued anywhere: with
   R >= 2, zero objects are lost.
+* **Fleet rebalance** (fleet runs with membership events) — epochs advance
+  strictly monotonically, every migration plan stays within the
+  bounded-migration envelope (≈2·R·K/N keys, far below a naive full
+  reshuffle), departed devices perform only migration reads after leaving,
+  joiners perform no work before joining, and zero objects are lost across
+  the rebalance.
 
 A violated invariant raises :class:`~repro.exceptions.InvariantViolation`;
 the list of checks that ran is recorded in the scenario report so golden
@@ -32,18 +38,15 @@ from __future__ import annotations
 import math
 from typing import List
 
-from typing import Union
-
-from repro.cluster.cluster import Cluster, ClusterResult
+from repro.cluster.cluster import ClusterResult
 from repro.core.executor import SkipperQueryResult
 from repro.csd.scheduler import RankBasedScheduler
 from repro.exceptions import InvariantViolation
 from repro.service.service import StorageService
 
-#: The invariant checks only touch the backend surface (``fleet`` /
-#: ``device`` / ``scheduler`` / ``layout``), which the service façade and the
-#: legacy cluster shim expose identically.
-ClusterLike = Union[Cluster, StorageService]
+#: The invariant checks only touch the service's backend surface
+#: (``fleet`` / ``device`` / ``scheduler`` / ``layout``).
+ClusterLike = StorageService
 
 
 def starvation_bound(num_groups: int, num_queries: int, fairness_constant: float) -> int:
@@ -103,9 +106,10 @@ def check_conservation(cluster: ClusterLike, result: ClusterResult) -> None:
 def _check_fleet_conservation(cluster: ClusterLike, issued: int) -> None:
     """Fleet variant: conservation must hold across all devices combined.
 
-    Failed-over requests are registered by two devices (the dead one and the
-    replica that eventually serves them), so the received counter exceeds the
-    issued counter by exactly the router's failed-over count.
+    Failed-over and handed-off requests are registered by two devices (the
+    one that lost them and the replica that eventually serves them), so the
+    received counter exceeds the issued counter by exactly the router's
+    failed-over plus handed-off counts.
     """
     fleet = cluster.fleet
     stats = fleet.device_stats
@@ -120,16 +124,16 @@ def _check_fleet_conservation(cluster: ClusterLike, issued: int) -> None:
             f"issued={issued} served={served} transfers={transfers} "
             f"per_client_total={per_client_total}"
         )
-    expected_received = issued + fleet.stats.failed_over
+    expected_received = issued + fleet.stats.failed_over + fleet.stats.handed_off
     if stats.requests_received != expected_received:
         raise InvariantViolation(
             f"fleet received {stats.requests_received} requests, expected "
-            f"issued + failed_over = {expected_received}"
+            f"issued + failed_over + handed_off = {expected_received}"
         )
     if fleet.stats.requests_routed != expected_received:
         raise InvariantViolation(
             f"router routed {fleet.stats.requests_routed} requests, expected "
-            f"issued + failed_over = {expected_received}"
+            f"issued + failed_over + handed_off = {expected_received}"
         )
     for member in fleet.members:
         if member.device is None:
@@ -288,7 +292,7 @@ def check_fleet_placement(cluster: ClusterLike) -> None:
 def check_fleet_failover(cluster: ClusterLike) -> bool:
     """Dead devices stop at their failure instant and nothing is lost."""
     fleet = cluster.fleet
-    failed = [member for member in fleet.members if not member.alive]
+    failed = [member for member in fleet.members if member.failed_at is not None]
     if not failed:
         return False
     for member in failed:
@@ -309,6 +313,92 @@ def check_fleet_failover(cluster: ClusterLike) -> bool:
     return True
 
 
+def check_fleet_rebalance(cluster: ClusterLike) -> bool:
+    """Elastic-membership invariants (skipped for static fleets).
+
+    * **Epoch monotonicity** — the epoch log advances by exactly one per
+      membership change, at non-decreasing simulated times, and the final
+      epoch equals the number of changes.
+    * **Bounded migration** — every join/leave plan moves at most
+      ``min(K, ceil(2·R·K/N))`` distinct keys (N the smaller fleet size):
+      the minimal-plan guarantee of consistent hashing, far below the naive
+      full reshuffle of all K keys.
+    * **Migrated data lands** — every migrated key is present in its
+      destination device's (append-only) layout.
+    * **Graceful exits** — a departed device performs only migration reads
+      after leaving; a joiner performs no work before joining.
+    * **Zero lost objects** — nothing is left queued anywhere post-run.
+    """
+    fleet = cluster.fleet
+    membership = fleet.membership
+    if not fleet.spec.events:
+        # Static membership (possibly with fail-stop losses): nothing was
+        # rebalanced, so the epoch/migration invariants would be vacuous.
+        return False
+    previous_time = 0.0
+    for position, record in enumerate(membership.epoch_log, start=1):
+        if record.epoch != position:
+            raise InvariantViolation(
+                f"epoch log out of order: change #{position} opened epoch "
+                f"{record.epoch}"
+            )
+        if record.at_seconds < previous_time:
+            raise InvariantViolation(
+                f"epoch {record.epoch} opened at {record.at_seconds}, before "
+                f"epoch {record.epoch - 1}'s change at {previous_time}"
+            )
+        previous_time = record.at_seconds
+    if membership.epoch != len(membership.epoch_log):
+        raise InvariantViolation(
+            f"membership epoch {membership.epoch} does not match the "
+            f"{len(membership.epoch_log)} recorded changes"
+        )
+    members_by_id = {member.device_id: member for member in fleet.members}
+    for plan in fleet.migration_plans:
+        bound = plan.migration_bound()
+        if plan.keys_moved > bound:
+            raise InvariantViolation(
+                f"epoch {plan.epoch} ({plan.kind} of {plan.device_id!r}) moved "
+                f"{plan.keys_moved} keys, above the bounded-migration envelope "
+                f"{bound} (K={plan.total_keys}, R={plan.replication}, "
+                f"{plan.devices_before}->{plan.devices_after} devices)"
+            )
+        for move in plan.moves:
+            dest = members_by_id.get(move.dest)
+            if dest is None or dest.device is None or not dest.device.layout.has_object(
+                move.object_key
+            ):
+                raise InvariantViolation(
+                    f"epoch {plan.epoch}: migrated key {move.object_key!r} "
+                    f"never landed in destination {move.dest!r}'s layout"
+                )
+    for member in fleet.members:
+        if member.device is None:
+            continue
+        if member.left_at is not None:
+            for interval in member.device.busy_intervals:
+                if interval.start > member.left_at and interval.kind != "migration":
+                    raise InvariantViolation(
+                        f"departed device {member.device_id!r} performed "
+                        f"{interval.kind} work at {interval.start}, after "
+                        f"leaving at {member.left_at}"
+                    )
+        if member.joined_at > 0:
+            for interval in member.device.busy_intervals:
+                if interval.start < member.joined_at:
+                    raise InvariantViolation(
+                        f"device {member.device_id!r} performed work at "
+                        f"{interval.start}, before joining at {member.joined_at}"
+                    )
+    lost = fleet.pending_total()
+    if lost:
+        raise InvariantViolation(
+            f"{lost} request(s) left queued in the fleet after the run "
+            "(lost objects across the rebalance)"
+        )
+    return True
+
+
 def check_invariants(cluster: ClusterLike, result: ClusterResult) -> List[str]:
     """Run every applicable invariant; return the names of those checked."""
     checked = ["conservation", "monotone-clock"]
@@ -323,4 +413,6 @@ def check_invariants(cluster: ClusterLike, result: ClusterResult) -> List[str]:
         checked.append("fleet-placement")
         if check_fleet_failover(cluster):
             checked.append("fleet-failover")
+        if check_fleet_rebalance(cluster):
+            checked.append("fleet-rebalance")
     return checked

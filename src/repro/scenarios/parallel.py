@@ -15,6 +15,7 @@ any report.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -24,12 +25,18 @@ from repro.exceptions import ReproError, ScenarioError
 
 @dataclass(frozen=True)
 class ScenarioOutcome:
-    """Result of running one scenario: its report JSON or an error."""
+    """Result of running one scenario: its report JSON or an error.
+
+    ``wall_seconds`` is real elapsed time, not simulated time; it is
+    reported by ``--check`` for timing visibility but never diffed (wall
+    time is machine-dependent, unlike every serialized metric).
+    """
 
     name: str
     report_json: Optional[str]
     error: Optional[str]
     simulated_time: Optional[float]
+    wall_seconds: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -43,17 +50,23 @@ def run_one(name: str) -> ScenarioOutcome:
     from repro.scenarios.registry import get_scenario
     from repro.scenarios.runner import ScenarioRunner
 
+    started = time.perf_counter()
     try:
         report = ScenarioRunner().run(get_scenario(name))
     except ReproError as error:
         return ScenarioOutcome(
-            name=name, report_json=None, error=str(error), simulated_time=None
+            name=name,
+            report_json=None,
+            error=str(error),
+            simulated_time=None,
+            wall_seconds=time.perf_counter() - started,
         )
     return ScenarioOutcome(
         name=name,
         report_json=report.to_json(),
         error=None,
         simulated_time=report.total_simulated_time,
+        wall_seconds=time.perf_counter() - started,
     )
 
 

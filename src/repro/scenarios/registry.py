@@ -16,7 +16,13 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.exceptions import ScenarioError
-from repro.fleet.spec import DeviceFailure, FleetSpec
+from repro.fleet.spec import (
+    DeviceFailure,
+    DeviceJoin,
+    DeviceLeave,
+    DeviceProfile,
+    FleetSpec,
+)
 from repro.scenarios.arrivals import BurstyArrival, PoissonArrival, UniformArrival
 from repro.scenarios.spec import ScenarioSpec, TenantSpec, uniform_tenants
 from repro.service.admission import AdmissionConfig
@@ -299,6 +305,89 @@ def fleet_loss_at_scale() -> ScenarioSpec:
             replication=2,
             replica_policy="least-loaded",
             failures=(DeviceFailure(device=1, at_seconds=300.0),),
+        ),
+        seed=42,
+    )
+
+
+@register
+def fleet_elastic_join() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-elastic-join",
+        description="A fourth device joins a loaded three-device fleet "
+        "mid-run: the placement epoch advances, only the keys whose replica "
+        "set changed migrate onto the joiner, and least-loaded routing "
+        "starts exploiting the extra capacity immediately (the tenants' "
+        "second round of queries lands on the enlarged fleet).",
+        tenants=uniform_tenants(4, "tpch:q12", cache_capacity=8, repetitions=2),
+        fleet=FleetSpec(
+            devices=3,
+            replication=2,
+            replica_policy="least-loaded",
+            events=(DeviceJoin(device=3, at_seconds=60.0),),
+        ),
+        seed=42,
+    )
+
+
+@register
+def fleet_elastic_drain() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-elastic-drain",
+        description="A device leaves a four-device fleet gracefully: its "
+        "queued requests are handed off to the new owners of its keys, its "
+        "replicas are re-homed with migration I/O charged to source and "
+        "destination, and zero objects are lost.  Uses the placement-aware "
+        "tenant-colocated layout: migrated keys join their tenant's "
+        "existing disk group on the destination device.",
+        tenants=uniform_tenants(4, "tpch:q12", cache_capacity=8),
+        layout="tenant-colocated",
+        fleet=FleetSpec(
+            devices=4,
+            replication=2,
+            replica_policy="least-loaded",
+            events=(DeviceLeave(device=0, at_seconds=50.0),),
+        ),
+        seed=42,
+    )
+
+
+@register
+def fleet_heterogeneous() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-heterogeneous",
+        description="A mixed fast/slow fleet: one device has 4x the "
+        "group-switch latency and 2x the transfer time, one is a fast "
+        "next-generation device; least-loaded routing steers traffic "
+        "around the straggler.",
+        tenants=uniform_tenants(4, "tpch:q12", cache_capacity=8),
+        fleet=FleetSpec(
+            devices=3,
+            replication=2,
+            replica_policy="least-loaded",
+            profiles=(
+                DeviceProfile(device=1, switch_seconds=40.0, transfer_seconds=19.2),
+                DeviceProfile(device=2, switch_seconds=5.0, transfer_seconds=4.8),
+            ),
+        ),
+        seed=42,
+    )
+
+
+@register
+def fleet_rebalance_under_load() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-rebalance-under-load",
+        description="Bursty arrivals during a join: eight tenants arrive in "
+        "bursts of two while a fourth device joins mid-run.  The golden pins "
+        "zero lost objects, a minimal migration (<= 2K/N keys) and a "
+        "post-join imbalance coefficient strictly below the pre-join epoch's.",
+        tenants=uniform_tenants(8, "tpch:q12", cache_capacity=8),
+        arrival=BurstyArrival(burst_size=2, burst_gap_seconds=90.0, jitter_seconds=4.0),
+        fleet=FleetSpec(
+            devices=3,
+            replication=1,
+            events=(DeviceJoin(device=3, at_seconds=100.0),),
         ),
         seed=42,
     )

@@ -23,8 +23,11 @@ FLOAT_PRECISION = 9
 #: Version 2 added ``schema_version`` itself, the ``fleet`` section and the
 #: ``fleet`` field of the embedded spec.  Version 3 added the ``admission``
 #: section (service-façade admission control) and the ``admission`` field of
-#: the embedded spec; all other metrics are unchanged.
-SCHEMA_VERSION = 3
+#: the embedded spec.  Version 4 added the ``rebalance`` section (membership
+#: epochs, migration plans, per-epoch imbalance) plus the ``events`` /
+#: ``profiles`` fields of the embedded fleet spec; all other metrics are
+#: unchanged.
+SCHEMA_VERSION = 4
 
 
 def canonical(value: Any) -> Any:
@@ -96,6 +99,9 @@ class ScenarioReport:
     #: Admission-control metrics (rejected/queued counts, queue-delay
     #: percentiles, per-tenant fairness); ``None`` with admission disabled.
     admission: Optional[Dict[str, Any]] = None
+    #: Elastic-fleet metrics (membership epochs, migration plans, interference,
+    #: per-epoch imbalance); ``None`` for single-device scenarios.
+    rebalance: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Canonical nested-dict form (deterministic for a given run)."""
@@ -123,6 +129,7 @@ class ScenarioReport:
                 "cache": self.cache,
                 "fleet": self.fleet,
                 "admission": self.admission,
+                "rebalance": self.rebalance,
                 "invariants_checked": sorted(self.invariants_checked),
             }
         )

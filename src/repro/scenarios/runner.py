@@ -12,11 +12,10 @@ canonical :class:`~repro.scenarios.report.ScenarioReport`.
 from __future__ import annotations
 
 import random
-import warnings
 from typing import Dict, List, Sequence
 
 from repro.cluster.client import ClientSpec
-from repro.cluster.cluster import Cluster, ClusterConfig, ClusterResult
+from repro.cluster.cluster import ClusterConfig, ClusterResult
 from repro.cluster.metrics import jain_fairness, mean, percentile
 from repro.core.executor import SkipperQueryResult
 from repro.csd.device import DeviceConfig
@@ -27,6 +26,7 @@ from repro.csd.layout import (
     LayoutPolicy,
     RoundRobinObjectLayout,
     SkewedLayout,
+    TenantColocatedLayout,
 )
 from repro.csd.scheduler import (
     IOScheduler,
@@ -57,6 +57,8 @@ def build_layout(spec: ScenarioSpec) -> LayoutPolicy:
         return AllInOneLayout()
     if spec.layout == "incremental":
         return IncrementalLayout()
+    if spec.layout == "tenant-colocated":
+        return TenantColocatedLayout()
     if spec.layout == "clients-per-group":
         return ClientsPerGroupLayout(param[0] if param else 1)
     if spec.layout == "round-robin":
@@ -159,21 +161,6 @@ class ScenarioRunner:
         """Materialise the spec into a ready-to-run storage service."""
         return StorageService(spec)
 
-    def build_cluster(self, spec: ScenarioSpec) -> Cluster:
-        """Deprecated: materialise the spec into a legacy cluster shim."""
-        warnings.warn(
-            "ScenarioRunner.build_cluster() is deprecated; use "
-            "build_service() instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return Cluster(
-            build_catalog(spec),
-            build_cluster_config(spec),
-            scheduler_factory=lambda: build_scheduler(spec),
-            admission=spec.admission,
-        )
-
     def run(self, spec: ScenarioSpec) -> ScenarioReport:
         """Run ``spec`` to completion, validate it and report the metrics."""
         service = self.build_service(spec)
@@ -225,10 +212,14 @@ class ScenarioRunner:
             scheduler_switches = service.fleet.scheduler_switches()
             max_waiting = service.fleet.max_waiting_seen()
             fleet_metrics = service.fleet.metrics(result.total_simulated_time)
+            rebalance_metrics = service.fleet.rebalance_metrics(
+                result.total_simulated_time
+            )
         else:
             scheduler_switches = service.scheduler.num_switches
             max_waiting = service.scheduler.max_waiting_seen
             fleet_metrics = None
+            rebalance_metrics = None
         admission_metrics = (
             service.admission.summary() if service.admission is not None else None
         )
@@ -255,6 +246,7 @@ class ScenarioRunner:
             invariants_checked=list(checked),
             fleet=fleet_metrics,
             admission=admission_metrics,
+            rebalance=rebalance_metrics,
         )
 
     @staticmethod

@@ -31,6 +31,7 @@ KNOWN_LAYOUTS = (
     "incremental",
     "round-robin",
     "skewed",
+    "tenant-colocated",
 )
 
 #: Scheduler policy names resolvable by the runner.

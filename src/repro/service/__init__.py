@@ -27,8 +27,8 @@ Quickstart::
     service.run()
     print(handle.result().execution_time)
 
-The legacy batch entry points (``repro.cluster.Cluster.run()``, the
-experiment harness) are deprecated shims that delegate here.  For
+The legacy batch entry point (``repro.cluster.Cluster``) has been retired;
+the experiment harness runs through the façade.  For
 convenience the façade also re-exports the experiment harness
 (:mod:`repro.harness.experiments` as :data:`experiments`), the table
 renderer and the workload generators, so examples and notebooks need a
@@ -58,7 +58,7 @@ from repro.service.session import Session
 # Imported last: the harness itself consumes the service layer above.
 from repro import workloads
 from repro.harness import experiments
-from repro.harness.tables import format_table
+from repro.harness.tables import format_admission_table, format_table
 
 __all__ = [
     "AdmissionConfig",
@@ -82,6 +82,7 @@ __all__ = [
     "StorageService",
     "canonical_rows",
     "experiments",
+    "format_admission_table",
     "format_table",
     "workloads",
 ]

@@ -14,11 +14,10 @@ queries are submitted::
     result = service.run()          # drives the simulation to completion
     print(handle.result().execution_time)
 
-The façade replaces the legacy batch harness (``Cluster.run()``); the old
-entry points remain as deprecated shims that delegate here.  With no
-admission controller configured, a batch run through the façade is
-event-for-event identical to the legacy harness, which the golden-metrics
-suite pins.
+The façade replaced the legacy batch harness (``Cluster.run()``), whose
+deprecated shims have since been retired.  With no admission controller
+configured, a batch run through the façade is event-for-event identical to
+the legacy harness, which the golden-metrics suite pins.
 """
 
 from __future__ import annotations
@@ -260,7 +259,17 @@ class StorageService:
         self._ran = True
         for session in self._sessions:
             session.close()
-        self.env.run(self.env.all_of([session.process for session in self._sessions]))
+        try:
+            self.env.run(self.env.all_of([session.process for session in self._sessions]))
+        except Exception:
+            # A crashed fleet failure/membership process starves the sessions
+            # and surfaces as an unrelated "ran out of events" error; prefer
+            # re-raising the root cause.
+            if self.fleet is not None:
+                self.fleet.raise_admin_failure()
+            raise
+        if self.fleet is not None:
+            self.fleet.raise_admin_failure()
 
         busy_intervals = self.busy_intervals()
         # A tenant may have held several sessions over the service's lifetime
@@ -287,11 +296,27 @@ class StorageService:
             device_switches=stats.group_switches,
             device_objects_served=stats.objects_served,
             total_simulated_time=self.env.now,
+            admission=(
+                self.admission.summary() if self.admission is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------ #
     # Backend introspection / administration
     # ------------------------------------------------------------------ #
+    @property
+    def membership(self):
+        """The fleet's epoch-versioned membership (``None`` single-device).
+
+        Sessions are oblivious to membership changes: they keep talking to
+        the router while devices join, leave or fail underneath them.
+        """
+        return self.fleet.membership if self.fleet is not None else None
+
+    def fleet_epoch(self) -> int:
+        """Current fleet membership epoch (0 for single-device services)."""
+        return self.fleet.epoch if self.fleet is not None else 0
+
     def device_stats(self):
         """Aggregate device counters (single device or whole fleet)."""
         if self.fleet is not None:

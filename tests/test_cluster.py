@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import ClientSpec, Cluster, ClusterConfig
+from repro.cluster import ClientSpec, ClusterConfig
 from repro.cluster.metrics import (
     ExecutionBreakdown,
     attribute_waiting,
@@ -16,6 +16,7 @@ from repro.csd.layout import ClientsPerGroupLayout
 from repro.csd.scheduler import ObjectFCFSScheduler, RankBasedScheduler
 from repro.engine.executor import canonical_rows
 from repro.engine import InMemoryExecutor
+from repro.service import StorageService
 from repro.exceptions import ConfigurationError
 from repro.workloads import tpch
 
@@ -103,18 +104,16 @@ class TestClusterRuns:
 
     def test_every_client_gets_correct_answers(self, tiny_tpch_catalog):
         expected = canonical_rows(InMemoryExecutor(tiny_tpch_catalog).execute(tpch.q12()).rows)
-        cluster = Cluster(
-            tiny_tpch_catalog, self._config(3, "skipper"), scheduler=RankBasedScheduler()
-        )
-        result = cluster.run()
+        service = StorageService(self._config(3, "skipper"), catalog=tiny_tpch_catalog, scheduler=RankBasedScheduler())
+        result = service.run()
         assert set(result.client_ids()) == {"client0", "client1", "client2"}
         for client_results in result.results_by_client.values():
             assert len(client_results) == 1
             assert canonical_rows(client_results[0].rows) == expected
 
     def test_repetitions_produce_multiple_results(self, tiny_tpch_catalog):
-        cluster = Cluster(tiny_tpch_catalog, self._config(2, "skipper", repetitions=3))
-        result = cluster.run()
+        service = StorageService(self._config(2, "skipper", repetitions=3), catalog=tiny_tpch_catalog)
+        result = service.run()
         for client_results in result.results_by_client.values():
             assert len(client_results) == 3
         assert len(result.execution_times()) == 6
@@ -123,35 +122,29 @@ class TestClusterRuns:
     def test_vanilla_scaling_is_roughly_linear_in_clients(self, tiny_tpch_catalog):
         times = []
         for count in (1, 2, 4):
-            cluster = Cluster(
-                tiny_tpch_catalog, self._config(count, "vanilla"), scheduler=ObjectFCFSScheduler()
-            )
-            times.append(cluster.run().average_execution_time())
+            service = StorageService(self._config(count, "vanilla"), catalog=tiny_tpch_catalog, scheduler=ObjectFCFSScheduler())
+            times.append(service.run().average_execution_time())
         assert times[0] < times[1] < times[2]
         # Quadrupling the clients should cost at least 2.5x (paper: ~linear).
         assert times[2] / times[0] > 2.5
 
     def test_skipper_scales_better_than_vanilla(self, tiny_tpch_catalog):
-        vanilla = Cluster(
-            tiny_tpch_catalog, self._config(4, "vanilla"), scheduler=ObjectFCFSScheduler()
-        ).run()
-        skipper = Cluster(
-            tiny_tpch_catalog, self._config(4, "skipper"), scheduler=RankBasedScheduler()
-        ).run()
+        vanilla = StorageService(self._config(4, "vanilla"), catalog=tiny_tpch_catalog, scheduler=ObjectFCFSScheduler()).run()
+        skipper = StorageService(self._config(4, "skipper"), catalog=tiny_tpch_catalog, scheduler=RankBasedScheduler()).run()
         assert skipper.average_execution_time() < vanilla.average_execution_time()
         assert skipper.device_switches < vanilla.device_switches
 
     def test_breakdowns_cover_execution_time(self, tiny_tpch_catalog):
-        cluster = Cluster(tiny_tpch_catalog, self._config(2, "vanilla"))
-        result = cluster.run()
+        service = StorageService(self._config(2, "vanilla"), catalog=tiny_tpch_catalog)
+        result = service.run()
         breakdown = result.average_breakdown()
         average_time = result.average_execution_time()
         assert breakdown.total == pytest.approx(average_time, rel=0.15)
         assert breakdown.switch_wait > 0
 
     def test_total_get_requests_counts_all_clients(self, tiny_tpch_catalog):
-        cluster = Cluster(tiny_tpch_catalog, self._config(2, "skipper"))
-        result = cluster.run()
+        service = StorageService(self._config(2, "skipper"), catalog=tiny_tpch_catalog)
+        result = service.run()
         per_query_objects = tiny_tpch_catalog.num_segments("orders") + tiny_tpch_catalog.num_segments(
             "lineitem"
         )
@@ -167,5 +160,5 @@ class TestClusterRuns:
             layout_policy=ClientsPerGroupLayout(1),
             device_config=DeviceConfig(group_switch_seconds=10.0, transfer_seconds_per_object=1.0),
         )
-        result = Cluster(tiny_tpch_catalog, config).run()
+        result = StorageService(config, catalog=tiny_tpch_catalog).run()
         assert set(result.client_ids()) == {"fast", "slow"}

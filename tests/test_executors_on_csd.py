@@ -119,7 +119,8 @@ class TestVanillaExecutorOnCSD:
 
     def test_skipper_beats_vanilla_under_contention(self, tiny_tpch_catalog):
         """Two tenants on two groups: Skipper's batched access wins."""
-        from repro.cluster import ClientSpec, Cluster, ClusterConfig
+        from repro.cluster import ClientSpec, ClusterConfig
+        from repro.service import StorageService
 
         query = tpch.q12()
         device_config = DeviceConfig(group_switch_seconds=10.0, transfer_seconds_per_object=1.0)
@@ -134,7 +135,7 @@ class TestVanillaExecutorOnCSD:
                 layout_policy=ClientsPerGroupLayout(1),
                 device_config=device_config,
             )
-            return Cluster(tiny_tpch_catalog, config, scheduler=scheduler).run()
+            return StorageService(config, catalog=tiny_tpch_catalog, scheduler=scheduler).run()
 
         vanilla = run("vanilla", ObjectFCFSScheduler())
         skipper = run("skipper", RankBasedScheduler())

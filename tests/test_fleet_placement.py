@@ -79,6 +79,62 @@ class TestDeterminismProperty:
         assert stable_hash("csd0#0") == 0x38BAFC5688AC1997
         assert stable_hash("tenant0/lineitem.0") == 0xDF93E6A9D4A24E1C
 
+
+class TestRingEpochStability:
+    """The properties live rebalancing leans on: a membership change moves
+    only ~R·K/N of K keys and never shuffles the replicas of the others."""
+
+    @settings(max_examples=60, derandomize=True)
+    @given(
+        keys=keys_strategy,
+        devices=st.integers(min_value=2, max_value=8),
+        replication=replication_strategy,
+    )
+    def test_join_is_minimal_and_order_preserving(self, keys, devices, replication):
+        replication = min(replication, devices)
+        policy = ConsistentHashPlacement(replication)
+        before = policy.place(keys, device_ids(devices))
+        after = policy.place(keys, device_ids(devices + 1))
+        joined = f"csd{devices}"
+        moved = 0
+        for key in keys:
+            old, new = before[key], after[key]
+            if joined not in new:
+                # Unrelated keys keep their exact replica tuple, order included.
+                assert new == old
+                continue
+            moved += 1
+            # The joiner only *inserts* into the walk: surviving replicas
+            # keep their relative order and form a prefix of the old tuple.
+            survivors = tuple(device for device in new if device != joined)
+            assert survivors == old[: len(survivors)]
+        # Expected moves ≈ R·K/(N+1); allow generous (deterministic) headroom.
+        bound = min(len(keys), 3 * replication * len(keys) // (devices + 1) + 3)
+        assert moved <= bound
+
+    @settings(max_examples=60, derandomize=True)
+    @given(
+        keys=keys_strategy,
+        devices=st.integers(min_value=3, max_value=8),
+        replication=st.integers(min_value=1, max_value=2),
+    )
+    def test_leave_only_rehomes_the_leavers_keys(self, keys, devices, replication):
+        policy = ConsistentHashPlacement(replication)
+        before = policy.place(keys, device_ids(devices))
+        leaver = "csd0"
+        remaining = [d for d in device_ids(devices) if d != leaver]
+        after = policy.place(keys, remaining)
+        for key in keys:
+            old, new = before[key], after[key]
+            if leaver not in old:
+                assert new == old
+            else:
+                survivors = tuple(device for device in old if device != leaver)
+                # Survivors keep their walk order; only the replacement
+                # replica(s) are appended at the end.
+                assert new[: len(survivors)] == survivors
+                assert len(new) == replication
+
     def test_ring_is_independent_of_device_listing_order(self):
         keys = [f"k{index}" for index in range(50)]
         policy = ConsistentHashPlacement(2)

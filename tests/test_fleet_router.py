@@ -5,13 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.client import ClientSpec
-from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.cluster import ClusterConfig
 from repro.exceptions import FleetError, ScenarioError
 from repro.fleet.spec import DeviceFailure, FleetSpec
+from repro.service import StorageService
 from repro.workloads import tpch
 
 
-def build_fleet_cluster(fleet_spec, num_clients=3, repetitions=1):
+def build_fleet_service(fleet_spec, num_clients=3, repetitions=1):
     catalog = tpch.build_catalog("tiny", seed=42)
     config = ClusterConfig(
         client_specs=[
@@ -25,45 +26,45 @@ def build_fleet_cluster(fleet_spec, num_clients=3, repetitions=1):
         ],
         fleet_spec=fleet_spec,
     )
-    return Cluster(catalog, config)
+    return StorageService(config, catalog=catalog)
 
 
 class TestRouting:
     def test_clients_are_fleet_oblivious(self):
-        cluster = build_fleet_cluster(FleetSpec(devices=3, replication=2))
-        result = cluster.run()
-        assert cluster.fleet is not None and cluster.device is None
+        service = build_fleet_service(FleetSpec(devices=3, replication=2))
+        result = service.run()
+        assert service.fleet is not None and service.device is None
         issued = result.total_get_requests()
         assert issued > 0
-        assert cluster.fleet.device_stats.objects_served == issued
-        assert cluster.fleet.stats.requests_routed == issued
+        assert service.fleet.device_stats.objects_served == issued
+        assert service.fleet.stats.requests_routed == issued
 
     def test_single_device_fleet_serves_everything(self):
-        cluster = build_fleet_cluster(FleetSpec(devices=1, replication=1))
-        result = cluster.run()
-        member = cluster.fleet.members[0]
+        service = build_fleet_service(FleetSpec(devices=1, replication=1))
+        result = service.run()
+        member = service.fleet.members[0]
         assert member.device.stats.objects_served == result.total_get_requests()
 
     def test_requests_only_land_on_replica_devices(self):
-        cluster = build_fleet_cluster(FleetSpec(devices=4, replication=2))
-        cluster.run()
-        for member in cluster.fleet.members:
+        service = build_fleet_service(FleetSpec(devices=4, replication=2))
+        service.run()
+        for member in service.fleet.members:
             if member.device is None:
                 continue
             for interval in member.device.busy_intervals:
                 if interval.kind != "transfer":
                     continue
-                assert member.device_id in cluster.fleet.placement[interval.object_key]
+                assert member.device_id in service.fleet.placement[interval.object_key]
 
     def test_unplaced_object_rejected(self):
-        cluster = build_fleet_cluster(FleetSpec(devices=2, replication=1))
+        service = build_fleet_service(FleetSpec(devices=2, replication=1))
         with pytest.raises(FleetError):
-            cluster.fleet.get("nobody/nothing.0", "c0", "q")
+            service.fleet.get("nobody/nothing.0", "c0", "q")
 
     def test_merged_busy_intervals_ordered_by_completion(self):
-        cluster = build_fleet_cluster(FleetSpec(devices=3, replication=2))
-        cluster.run()
-        merged = cluster.fleet.busy_intervals
+        service = build_fleet_service(FleetSpec(devices=3, replication=2))
+        service.run()
+        merged = service.fleet.busy_intervals
         assert merged
         assert all(
             merged[index].end <= merged[index + 1].end
@@ -71,7 +72,7 @@ class TestRouting:
         )
         per_device_total = sum(
             len(member.device.busy_intervals)
-            for member in cluster.fleet.members
+            for member in service.fleet.members
             if member.device is not None
         )
         assert len(merged) == per_device_total
@@ -79,36 +80,67 @@ class TestRouting:
 
 class TestReplicaChoice:
     def test_primary_first_uses_primary_while_alive(self):
-        cluster = build_fleet_cluster(
+        service = build_fleet_service(
             FleetSpec(devices=3, replication=2, replica_policy="primary-first")
         )
-        cluster.run()
-        for member in cluster.fleet.members:
+        service.run()
+        for member in service.fleet.members:
             if member.device is None:
                 continue
             for interval in member.device.busy_intervals:
                 if interval.kind != "transfer":
                     continue
-                primary = cluster.fleet.placement[interval.object_key][0]
+                primary = service.fleet.placement[interval.object_key][0]
                 assert member.device_id == primary
+
+    def test_least_loaded_tie_breaking_is_replica_order(self):
+        """Ties in outstanding load resolve by replica (walk) order.
+
+        Pins the determinism contract: with equal load the least-loaded
+        policy behaves exactly like primary-first, and when the primary is
+        busier the *next replica in placement order* wins — never an
+        arbitrary dict/set ordering.
+        """
+        service = build_fleet_service(
+            FleetSpec(devices=4, replication=3, replica_policy="least-loaded")
+        )
+        fleet = service.fleet
+        object_key = next(iter(fleet.placement))
+        replicas = fleet.placement[object_key]
+        members = [fleet._member_by_id[device_id] for device_id in replicas]
+        # All idle: the primary (first replica) wins the 0-0-0 tie.
+        assert fleet._choose_replica(object_key) is members[0]
+        # Equal non-zero load: still the primary.
+        for member in members:
+            member.outstanding = 2
+        assert fleet._choose_replica(object_key) is members[0]
+        # Primary busier: the second replica in walk order wins the tie
+        # between the remaining two.
+        members[0].outstanding = 3
+        assert fleet._choose_replica(object_key) is members[1]
+        # Unique minimum anywhere in the tuple wins outright.
+        members[2].outstanding = 1
+        assert fleet._choose_replica(object_key) is members[2]
+        for member in members:
+            member.outstanding = 0
 
     def test_least_loaded_never_underperforms_primary_first(self):
         spreads = {}
         for policy in ("primary-first", "least-loaded"):
-            cluster = build_fleet_cluster(
+            service = build_fleet_service(
                 FleetSpec(devices=3, replication=2, replica_policy=policy),
                 num_clients=4,
                 repetitions=2,
             )
-            result = cluster.run()
-            served = [member.objects_served() for member in cluster.fleet.members]
+            result = service.run()
+            served = [member.objects_served() for member in service.fleet.members]
             spreads[policy] = (max(served) - min(served), result.total_simulated_time)
         assert spreads["least-loaded"][0] <= spreads["primary-first"][0]
 
 
 class TestFailover:
     def test_device_loss_fails_over_with_zero_lost_objects(self):
-        cluster = build_fleet_cluster(
+        service = build_fleet_service(
             FleetSpec(
                 devices=3,
                 replication=2,
@@ -116,8 +148,8 @@ class TestFailover:
             ),
             num_clients=4,
         )
-        result = cluster.run()
-        fleet = cluster.fleet
+        result = service.run()
+        fleet = service.fleet
         dead = fleet.members[0]
         assert not dead.alive and dead.failed_at == 30.0
         assert fleet.stats.failed_over > 0
@@ -125,7 +157,7 @@ class TestFailover:
         assert fleet.device_stats.objects_served == result.total_get_requests()
 
     def test_dead_device_starts_no_work_after_failure(self):
-        cluster = build_fleet_cluster(
+        service = build_fleet_service(
             FleetSpec(
                 devices=3,
                 replication=2,
@@ -133,27 +165,27 @@ class TestFailover:
             ),
             num_clients=4,
         )
-        cluster.run()
-        dead = cluster.fleet.members[0]
+        service.run()
+        dead = service.fleet.members[0]
         assert all(
             interval.start <= dead.failed_at
             for interval in dead.device.busy_intervals
         )
 
     def test_failure_before_any_traffic_routes_everything_elsewhere(self):
-        cluster = build_fleet_cluster(
+        service = build_fleet_service(
             FleetSpec(
                 devices=2,
                 replication=2,
                 failures=(DeviceFailure(device=1, at_seconds=0.0),),
             )
         )
-        result = cluster.run()
-        survivor = cluster.fleet.members[0]
+        result = service.run()
+        survivor = service.fleet.members[0]
         assert survivor.objects_served() == result.total_get_requests()
 
     def test_failover_requests_counted_in_received_not_served(self):
-        cluster = build_fleet_cluster(
+        service = build_fleet_service(
             FleetSpec(
                 devices=3,
                 replication=2,
@@ -161,8 +193,8 @@ class TestFailover:
             ),
             num_clients=4,
         )
-        result = cluster.run()
-        fleet = cluster.fleet
+        result = service.run()
+        fleet = service.fleet
         issued = result.total_get_requests()
         assert fleet.device_stats.objects_served == issued
         assert fleet.device_stats.requests_received == issued + fleet.stats.failed_over
@@ -208,9 +240,9 @@ class TestMetrics:
     def test_metrics_cover_every_device_even_idle_ones(self):
         # 24 devices for a handful of objects: consistent hashing will leave
         # some devices empty, and they must still show up with zero load.
-        cluster = build_fleet_cluster(FleetSpec(devices=24, replication=1), num_clients=1)
-        result = cluster.run()
-        metrics = cluster.fleet.metrics(result.total_simulated_time)
+        service = build_fleet_service(FleetSpec(devices=24, replication=1), num_clients=1)
+        result = service.run()
+        metrics = service.fleet.metrics(result.total_simulated_time)
         assert len(metrics["per_device"]) == 24
         idle = [
             entry
@@ -221,9 +253,9 @@ class TestMetrics:
         assert all(entry["utilization"] == 0.0 for entry in idle)
 
     def test_utilization_and_throughput_are_consistent(self):
-        cluster = build_fleet_cluster(FleetSpec(devices=3, replication=2))
-        result = cluster.run()
-        metrics = cluster.fleet.metrics(result.total_simulated_time)
+        service = build_fleet_service(FleetSpec(devices=3, replication=2))
+        result = service.run()
+        metrics = service.fleet.metrics(result.total_simulated_time)
         total_served = sum(
             entry["objects_served"] for entry in metrics["per_device"].values()
         )

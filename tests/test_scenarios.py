@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro.cluster.client import ClientSpec
-from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.cluster import ClusterConfig
 from repro.csd.device import BusyInterval
 from repro.exceptions import GoldenMismatchError, InvariantViolation, ScenarioError
 from repro.scenarios import (
@@ -26,9 +26,20 @@ from repro.scenarios import (
 from repro.scenarios.golden import diff_values
 from repro.scenarios.invariants import check_conservation, check_monotone_clock
 from repro.scenarios.runner import build_layout, build_scheduler
+from repro.service import StorageService
 from repro.workloads import tpch
 
 RUNNER = ScenarioRunner()
+
+
+def scenario_params():
+    """All registered scenarios, SF-50-scale ones carrying the slow marker."""
+    return [
+        pytest.param(name, marks=pytest.mark.slow)
+        if get_scenario(name).scale == "sf50"
+        else name
+        for name in scenario_names()
+    ]
 
 
 class TestRegistry:
@@ -62,7 +73,7 @@ class TestRegistry:
 
 
 class TestRunner:
-    @pytest.mark.parametrize("name", [*scenario_names()])
+    @pytest.mark.parametrize("name", scenario_params())
     def test_scenario_matches_committed_golden(self, name):
         """The regression net: live runs must match the committed goldens."""
         report = RUNNER.run(get_scenario(name))
@@ -143,7 +154,7 @@ class TestGoldenDiff:
         assert any("intruder" in mismatch for mismatch in mismatches)
 
 
-def _run_cluster(num_clients=2):
+def _run_service(num_clients=2):
     catalog = tpch.build_catalog("tiny", seed=42)
     config = ClusterConfig(
         client_specs=[
@@ -151,30 +162,30 @@ def _run_cluster(num_clients=2):
             for index in range(num_clients)
         ]
     )
-    cluster = Cluster(catalog, config)
-    return cluster, cluster.run()
+    service = StorageService(config, catalog=catalog)
+    return service, service.run()
 
 
 class TestInvariantChecker:
     def test_clean_run_passes_all_checks(self):
-        cluster, result = _run_cluster()
-        checked = check_invariants(cluster, result)
+        service, result = _run_service()
+        checked = check_invariants(service, result)
         assert set(checked) >= {"conservation", "monotone-clock", "no-starvation"}
 
     def test_conservation_detects_lost_objects(self):
-        cluster, result = _run_cluster()
-        cluster.device.stats.objects_served += 1
+        service, result = _run_service()
+        service.device.stats.objects_served += 1
         with pytest.raises(InvariantViolation, match="conservation"):
-            check_conservation(cluster, result)
+            check_conservation(service, result)
 
     def test_conservation_detects_misplaced_transfer(self):
-        cluster, result = _run_cluster()
+        service, result = _run_service()
         index, interval = next(
             (index, interval)
-            for index, interval in enumerate(cluster.device.busy_intervals)
+            for index, interval in enumerate(service.device.busy_intervals)
             if interval.kind == "transfer"
         )
-        cluster.device.busy_intervals[index] = BusyInterval(
+        service.device.busy_intervals[index] = BusyInterval(
             start=interval.start,
             end=interval.end,
             kind="transfer",
@@ -184,24 +195,24 @@ class TestInvariantChecker:
             object_key=interval.object_key,
         )
         with pytest.raises(InvariantViolation, match="layout places"):
-            check_conservation(cluster, result)
+            check_conservation(service, result)
 
     def test_monotone_clock_detects_time_travel(self):
-        cluster, result = _run_cluster()
-        first = cluster.device.busy_intervals[0]
-        cluster.device.busy_intervals.append(
+        service, result = _run_service()
+        first = service.device.busy_intervals[0]
+        service.device.busy_intervals.append(
             BusyInterval(start=0.0, end=first.end / 2, kind="switch", group_id=0)
         )
         with pytest.raises(InvariantViolation, match="out of order"):
-            check_monotone_clock(cluster, result)
+            check_monotone_clock(service, result)
 
     def test_monotone_clock_detects_inverted_interval(self):
-        cluster, result = _run_cluster()
-        cluster.device.busy_intervals[0] = BusyInterval(
+        service, result = _run_service()
+        service.device.busy_intervals[0] = BusyInterval(
             start=5.0, end=1.0, kind="switch", group_id=0
         )
         with pytest.raises(InvariantViolation, match="ends before"):
-            check_monotone_clock(cluster, result)
+            check_monotone_clock(service, result)
 
 
 class TestSpecSerialization:

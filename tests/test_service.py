@@ -2,7 +2,8 @@
 
 Covers the satellite edge paths of the API redesign — submit after close,
 zero-capacity admission, draining an idle device, duplicate session opens —
-plus the deprecation shims and the unified error taxonomy.
+plus the unified error taxonomy.  The façade is the *only* batch entry
+point: the legacy ``Cluster.run()`` / ``build_cluster()`` shims are gone.
 """
 
 import inspect
@@ -10,7 +11,7 @@ import inspect
 import pytest
 
 import repro.exceptions as exceptions_module
-from repro.cluster import ClientSpec, Cluster, ClusterConfig
+from repro.cluster import ClientSpec, ClusterConfig
 from repro.csd.device import DeviceConfig
 from repro.csd.layout import ClientsPerGroupLayout
 from repro.exceptions import (
@@ -53,23 +54,20 @@ def make_config(num_clients=2, mode="skipper", repetitions=1):
 
 
 class TestFacadeEquivalence:
-    def test_batch_run_matches_legacy_cluster(self, tiny_tpch_catalog):
-        service_result = StorageService(make_config(3), catalog=tiny_tpch_catalog).run()
-        with pytest.warns(DeprecationWarning):
-            cluster_result = Cluster(tiny_tpch_catalog, make_config(3)).run()
-        assert service_result.execution_times() == cluster_result.execution_times()
-        assert service_result.device_switches == cluster_result.device_switches
-        assert service_result.total_simulated_time == cluster_result.total_simulated_time
+    def test_batch_runs_are_deterministic(self, tiny_tpch_catalog):
+        first = StorageService(make_config(3), catalog=tiny_tpch_catalog).run()
+        second = StorageService(make_config(3), catalog=tiny_tpch_catalog).run()
+        assert first.execution_times() == second.execution_times()
+        assert first.device_switches == second.device_switches
+        assert first.total_simulated_time == second.total_simulated_time
 
-    def test_cluster_run_warns_and_delegates(self, tiny_tpch_catalog):
-        cluster = Cluster(tiny_tpch_catalog, make_config(1))
-        assert cluster.service.backend is cluster.backend
-        with pytest.warns(DeprecationWarning, match="StorageService"):
-            result = cluster.run()
-        # The shim ran *through* the façade, not through a parallel path.
-        assert cluster.service._ran
-        assert result.results_by_client["tenant0"]
-        assert cluster.service.sessions[0].tenant_id == "tenant0"
+    def test_legacy_cluster_shim_is_retired(self):
+        import repro.cluster as cluster_module
+
+        assert not hasattr(cluster_module, "Cluster")
+        from repro.scenarios.runner import ScenarioRunner
+
+        assert not hasattr(ScenarioRunner(), "build_cluster")
 
     def test_reopened_tenant_sessions_merge_results(self, tiny_tpch_catalog):
         service = StorageService(make_config(1), catalog=tiny_tpch_catalog)
@@ -86,20 +84,19 @@ class TestFacadeEquivalence:
         assert len(result.breakdowns_by_client["tenant0"]) == 2
         assert result.total_get_requests() == result.device_objects_served
 
-    def test_build_cluster_shim_warns_and_preserves_admission(self):
-        from repro.scenarios.runner import ScenarioRunner
-
-        runner = ScenarioRunner()
+    def test_spec_admission_knob_reaches_the_result(self):
         spec = get_scenario("admission-burst")
-        with pytest.warns(DeprecationWarning, match="build_service"):
-            cluster = runner.build_cluster(spec)
-        # The deprecated path must not silently drop the admission knob.
-        assert cluster.service.admission is not None
-        with pytest.warns(DeprecationWarning):
-            cluster.run()
-        summary = cluster.service.admission.summary()
-        assert summary["rejected"] > 0
-        assert summary["admitted"] + summary["rejected"] == summary["submitted"]
+        service = StorageService(spec)
+        assert service.admission is not None
+        result = service.run()
+        # The batch result now carries the admission summary, so harness
+        # consumers see shed traffic without reaching into the service.
+        assert result.admission is not None
+        assert result.admission["rejected"] > 0
+        assert (
+            result.admission["admitted"] + result.admission["rejected"]
+            == result.admission["submitted"]
+        )
 
     def test_service_accepts_scenario_spec(self):
         spec = get_scenario("uniform")
