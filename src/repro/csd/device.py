@@ -54,6 +54,55 @@ class DeviceConfig:
             raise ConfigurationError("transfer_seconds_per_object must be finite and non-negative")
 
 
+class MigrationTokenBucket:
+    """Token bucket pacing one device's migration I/O (objects per second).
+
+    Tokens accrue continuously on the simulated clock up to ``burst``; each
+    migration read/write consumes one.  All arithmetic is plain float math on
+    simulated timestamps, so throttled runs stay exactly deterministic.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "last_refill")
+
+    #: Slack absorbing float drift: after sleeping exactly
+    #: ``seconds_until_token()``, the refill may land at 1 - 1e-16 tokens
+    #: instead of 1.0; without the epsilon the device would re-sleep
+    #: femtosecond intervals forever.
+    EPSILON = 1e-9
+
+    def __init__(self, objects_per_second: float, burst: int = 1) -> None:
+        if not math.isfinite(objects_per_second) or objects_per_second <= 0:
+            raise ConfigurationError(
+                "throttle objects_per_second must be finite and positive"
+            )
+        if burst < 1:
+            raise ConfigurationError("throttle burst must be >= 1")
+        self.rate = objects_per_second
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last_refill = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self.last_refill:
+            self.tokens = min(self.burst, self.tokens + (now - self.last_refill) * self.rate)
+            self.last_refill = now
+
+    def try_consume(self, now: float) -> bool:
+        """Take one token if available; ``False`` means the I/O must wait."""
+        self._refill(now)
+        if self.tokens >= 1.0 - self.EPSILON:
+            self.tokens = max(0.0, self.tokens - 1.0)
+            return True
+        return False
+
+    def seconds_until_token(self, now: float) -> float:
+        """Simulated time until the next token accrues (0 when one is ready)."""
+        self._refill(now)
+        if self.tokens >= 1.0 - self.EPSILON:
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
 @dataclass(frozen=True)
 class BusyInterval:
     """One stretch of device activity: a switch, a transfer or migration I/O."""
@@ -85,6 +134,9 @@ class DeviceStats:
     migration_jobs: int = 0
     migration_seconds: float = 0.0
     migration_interference_seconds: float = 0.0
+    #: Times a queued migration job was set aside for foreground queries
+    #: because the throttle's token bucket was empty.
+    migration_deferrals: int = 0
 
     def record_served(self, client_id: str) -> None:
         self.objects_served += 1
@@ -101,12 +153,15 @@ class ColdStorageDevice:
         layout: DiskGroupLayout,
         scheduler: IOScheduler,
         config: Optional[DeviceConfig] = None,
+        migration_throttle: Optional[MigrationTokenBucket] = None,
     ) -> None:
         self.env = env
         self.object_store = object_store
         self.layout = layout
         self.scheduler = scheduler
         self.config = config or DeviceConfig()
+        #: Token bucket pacing migration I/O; ``None`` = strict priority.
+        self.migration_throttle = migration_throttle
         self.inbox: Store = Store(env, name="csd-inbox")
         #: Rebalancing work (migration reads/writes) served with priority
         #: over foreground GETs, in arrival order.
@@ -167,6 +222,32 @@ class ColdStorageDevice:
         self.inbox.put(job)
         return job
 
+    def pending_migration_jobs(self) -> int:
+        """Rebalancing I/O accepted but not yet performed.
+
+        Normally 0 after a run; a throttle paced slower than the workload
+        legitimately leaves jobs queued when the last session completes (the
+        data already landed at plan time — only the I/O charge is missing),
+        and the report surfaces that count instead of letting the migration
+        silently look fully executed.
+        """
+        return len(self._admin_jobs) + sum(
+            1 for item in self.inbox.items if isinstance(item, MigrationJob)
+        )
+
+    def drain_migration_jobs(self) -> List[MigrationJob]:
+        """Drop all queued rebalancing I/O (fail-stop).
+
+        A dead device must never perform I/O again: the migration job in
+        flight (if any) completes like an in-flight transfer does, but
+        everything still queued — in the admin queue or the inbox — is
+        withdrawn and returned to the caller, uncharged.
+        """
+        self._drain_inbox()
+        dropped = list(self._admin_jobs)
+        self._admin_jobs.clear()
+        return dropped
+
     # ------------------------------------------------------------------ #
     # Device main loop
     # ------------------------------------------------------------------ #
@@ -189,8 +270,32 @@ class ColdStorageDevice:
         while True:
             self._drain_inbox()
             if self._admin_jobs:
-                yield from self._perform_migration(self._admin_jobs.popleft())
-                continue
+                throttle = self.migration_throttle
+                if throttle is None or throttle.try_consume(self.env.now):
+                    yield from self._perform_migration(self._admin_jobs.popleft())
+                    continue
+                if not self.scheduler.has_pending():
+                    # Idle apart from throttled migration work: wait for the
+                    # bucket to refill OR for a foreground arrival, whichever
+                    # comes first — a query arriving mid-wait wakes the
+                    # device and (the bucket still being empty) is served
+                    # before the migration, as the throttle contract says.
+                    refill = self.env.timeout(
+                        throttle.seconds_until_token(self.env.now)
+                    )
+                    arrival = self.inbox.get()
+                    yield self.env.any_of([refill, arrival])
+                    if arrival.triggered:
+                        self._register(arrival.value)
+                    else:
+                        # The refill won: withdraw the getter so the next
+                        # put is not handed to an event nobody consumes.
+                        self.inbox.cancel(arrival)
+                    continue
+                # No tokens and queries are waiting: defer the migration I/O
+                # and serve foreground work first — the interleaving a
+                # strict-priority rebalance denies.
+                self.stats.migration_deferrals += 1
             if not self.scheduler.has_pending():
                 request = yield self.inbox.get()
                 self._register(request)
@@ -254,7 +359,7 @@ class ColdStorageDevice:
                 kind="migration",
                 group_id=group,
                 client_id=tenant,
-                query_id=f"migration:{job.direction}:epoch{job.epoch}",
+                query_id=f"{job.reason}:{job.direction}:epoch{job.epoch}",
                 object_key=job.object_key,
             )
         )

@@ -28,7 +28,11 @@ class MigrationJob:
     up is reported as migration interference).
     """
 
-    __slots__ = ("object_key", "direction", "seconds", "epoch", "notify")
+    __slots__ = ("object_key", "direction", "seconds", "epoch", "reason", "notify")
+
+    #: Why the copy happens: a membership rebalance (join/leave), read-repair
+    #: after a fail-stop loss, or write-path re-replication (R raised).
+    KNOWN_REASONS = ("rebalance", "repair", "replicate")
 
     def __init__(
         self,
@@ -36,20 +40,26 @@ class MigrationJob:
         direction: str,
         seconds: float,
         epoch: int,
+        reason: str = "rebalance",
         notify: Optional[Callable[["MigrationJob", float, float, bool], None]] = None,
     ) -> None:
         if direction not in ("read", "write"):
             raise ValueError(f"migration direction must be read/write, got {direction!r}")
+        if reason not in self.KNOWN_REASONS:
+            raise ValueError(
+                f"migration reason must be one of {self.KNOWN_REASONS}, got {reason!r}"
+            )
         self.object_key = object_key
         self.direction = direction
         self.seconds = seconds
         self.epoch = epoch
+        self.reason = reason
         #: Called by the device as ``notify(job, start, end, interfered)``.
         self.notify = notify
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<MigrationJob {self.direction} {self.object_key} "
+            f"<MigrationJob {self.reason} {self.direction} {self.object_key} "
             f"epoch={self.epoch} seconds={self.seconds}>"
         )
 

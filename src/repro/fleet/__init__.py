@@ -7,12 +7,14 @@ addressable storage service:
   consistent-hashing and round-robin implementations plus R-way replication.
 * :mod:`repro.fleet.spec` — declarative :class:`FleetSpec` with
   :class:`DeviceFailure`, membership events (:class:`DeviceJoin`,
-  :class:`DeviceLeave`) and heterogeneous :class:`DeviceProfile` overrides,
-  embedded in scenario specs.
+  :class:`DeviceLeave`, :class:`SetReplication`), heterogeneous
+  :class:`DeviceProfile` overrides, read-repair and
+  :class:`MigrationThrottle` knobs, embedded in scenario specs.
 * :mod:`repro.fleet.membership` — :class:`FleetMembership`, the
-  epoch-versioned device roster advanced by every join/leave/failure.
+  epoch-versioned device roster (and replication factor) advanced by every
+  join/leave/failure/R-change.
 * :mod:`repro.fleet.migration` — minimal :class:`MigrationPlan` diffs
-  between placement epochs.
+  between placement epochs, including replica :class:`KeyTrim` bookkeeping.
 * :mod:`repro.fleet.router` — :class:`FleetRouter`, the device-compatible
   facade performing replica choice, failover, live rebalancing and metric
   aggregation.
@@ -27,6 +29,7 @@ from repro.fleet.membership import (
 from repro.fleet.migration import (
     MIGRATION_OBJECT_BYTES,
     KeyMove,
+    KeyTrim,
     MigrationPlan,
     plan_migration,
 )
@@ -47,6 +50,8 @@ from repro.fleet.spec import (
     DeviceLeave,
     DeviceProfile,
     FleetSpec,
+    MigrationThrottle,
+    SetReplication,
     device_name,
 )
 
@@ -67,10 +72,13 @@ __all__ = [
     "FleetRouterStats",
     "FleetSpec",
     "KeyMove",
+    "KeyTrim",
     "MemberRecord",
     "MigrationPlan",
+    "MigrationThrottle",
     "PlacementPolicy",
     "RoundRobinPlacement",
+    "SetReplication",
     "build_placement",
     "device_name",
     "plan_migration",

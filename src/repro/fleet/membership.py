@@ -46,10 +46,12 @@ class EpochRecord:
 
     epoch: int
     at_seconds: float
-    kind: str  # "join" | "leave" | "failure"
+    kind: str  # "join" | "leave" | "failure" | "set-replication"
     device_id: str
     devices_before: int
     devices_after: int
+    #: Replication factor in effect from this epoch on.
+    replication: int = 1
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -59,6 +61,7 @@ class EpochRecord:
             "device": self.device_id,
             "devices_before": self.devices_before,
             "devices_after": self.devices_after,
+            "replication": self.replication,
         }
 
 
@@ -90,6 +93,9 @@ class FleetMembership:
         self.spec = spec
         self.base_config = base_config
         self.epoch = 0
+        #: Replication factor currently in effect (``SetReplication`` events
+        #: move it away from ``spec.replication``).
+        self.replication = spec.replication
         #: Every membership change, oldest first (epoch 0 has no record:
         #: it is the initial roster).
         self.epoch_log: List[EpochRecord] = []
@@ -162,6 +168,7 @@ class FleetMembership:
             # Filled by the caller mutating the roster first would race; the
             # roster is mutated before _advance in every path below.
             devices_after=devices_before,
+            replication=self.replication,
         )
         return record
 
@@ -224,6 +231,30 @@ class FleetMembership:
             replace(epoch, devices_after=len(self.serving_ids()))
         )
         return member
+
+    def set_replication(self, replication: int, at_seconds: float) -> EpochRecord:
+        """Change the replication factor in effect and open a new epoch.
+
+        The roster is untouched; the caller (the router) diffs the placement
+        at the old vs new R and re-replicates or trims accordingly.
+        """
+        if replication < 1:
+            raise FleetError(f"replication factor must be >= 1, got {replication}")
+        if replication == self.replication:
+            raise FleetError(
+                f"replication factor is already {replication}; nothing to change"
+            )
+        serving = len(self.serving_ids())
+        if replication > serving:
+            raise FleetError(
+                f"cannot raise replication to {replication}: only {serving} "
+                "device(s) are serving"
+            )
+        self.replication = replication
+        epoch = self._advance("set-replication", "fleet", at_seconds)
+        record = replace(epoch, devices_after=serving)
+        self.epoch_log.append(record)
+        return record
 
     # ------------------------------------------------------------------ #
     # Reporting

@@ -29,19 +29,44 @@ class KeyMove:
     dest: str
 
 
+@dataclass(frozen=True)
+class KeyTrim:
+    """One replica dropped from the placement (no I/O; layouts are
+    append-only, so the object physically stays where it was).
+
+    ``survivors`` counts the *live* devices in the key's replica set after
+    the trim — the ``replication-repair`` invariant pins it at >= 1.  A
+    placement recomputed over the serving roster always leaves live
+    survivors; the count exists to catch a regression that diffs against a
+    placement containing dead devices (e.g. computed over a stale roster),
+    where a trim really could strand a key on corpses.
+    """
+
+    object_key: str
+    device: str
+    survivors: int
+
+
 @dataclass
 class MigrationPlan:
     """Everything one membership epoch moves, plus its execution totals."""
 
     epoch: int
     at_seconds: float
-    kind: str  # "join" | "leave"
+    kind: str  # "join" | "leave" | "repair" | "set-replication"
     device_id: str
     moves: List[KeyMove]
     total_keys: int
     devices_before: int
     devices_after: int
     replication: int = 1
+    #: Whether the placement policy carries consistent hashing's minimality
+    #: guarantee.  A repair on a round-robin fleet legitimately re-places
+    #: nearly every key, so its bound is the full reshuffle, not ~2·R·K/N.
+    hash_minimal: bool = True
+    #: Replicas dropped from the placement by this epoch (R down, or a key's
+    #: replica set shifting away from a device on a join/leave).
+    trims: List[KeyTrim] = field(default_factory=list)
     #: Simulated seconds of migration I/O actually charged (filled in by the
     #: router as source reads and destination writes execute).
     migration_seconds: float = 0.0
@@ -72,15 +97,32 @@ class MigrationPlan:
 
         A single join/leave on a consistent-hash ring relocates an expected
         ``R·K/N`` of K keys (N the smaller fleet size); doubling that absorbs
-        hash variance at realistic vnode counts.  The naive comparator — a
-        full reshuffle, e.g. round-robin placement — moves all K keys, so the
-        bound is also capped there.
+        hash variance at realistic vnode counts.  The same bound covers a
+        read-repair pass (the dead device held ~R·K/N keys).  The naive
+        comparator — a full reshuffle, e.g. round-robin placement — moves
+        all K keys, so the bound is also capped there.  A replication-factor
+        change is the one legitimate full sweep: raising R gives *every* key
+        a new replica, so its bound is all K keys — as is any plan over a
+        placement without the hash-minimality guarantee (a repair on a
+        round-robin fleet re-places nearly everything by design).
         """
+        if self.kind == "set-replication" or not self.hash_minimal:
+            return self.total_keys
         smaller_fleet = max(1, min(self.devices_before, self.devices_after))
         return min(
             self.total_keys,
             -(-2 * self.replication * self.total_keys // smaller_fleet),
         )
+
+    @property
+    def keys_trimmed(self) -> int:
+        """Distinct keys that lost at least one placement replica."""
+        return len(set(trim.object_key for trim in self.trims))
+
+    @property
+    def replicas_trimmed(self) -> int:
+        """Placement replicas dropped by this plan (no I/O charged)."""
+        return len(self.trims)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -91,6 +133,8 @@ class MigrationPlan:
             "keys_moved": self.keys_moved,
             "objects_migrated": self.objects_migrated,
             "bytes_migrated": self.bytes_migrated,
+            "keys_trimmed": self.keys_trimmed,
+            "replicas_trimmed": self.replicas_trimmed,
             "migration_seconds": self.migration_seconds,
             "devices_before": self.devices_before,
             "devices_after": self.devices_after,
@@ -108,6 +152,7 @@ def plan_migration(
     devices_before: int = 0,
     devices_after: int = 0,
     replication: int = 1,
+    hash_minimal: bool = True,
     resident: Optional[Callable[[str, str], bool]] = None,
 ) -> MigrationPlan:
     """Diff two placements into the minimal set of replica copies.
@@ -122,10 +167,29 @@ def plan_migration(
     copies whose destination still physically holds the object from an
     earlier epoch (replica sets can return to a former owner after several
     membership changes); such re-adoptions cost no I/O.
+
+    Replicas *dropped* from a key's set (lowering R trims every key;
+    joins/leaves shift sets away from devices) are recorded as
+    :class:`KeyTrim` entries: pure placement bookkeeping, no I/O, each
+    carrying the size of the key's surviving replica set.
     """
     moves: List[KeyMove] = []
+    trims: List[KeyTrim] = []
     for object_key, old_replicas in old_placement.items():
         new_replicas = new_placement[object_key]
+        for device in old_replicas:
+            if device not in new_replicas:
+                trims.append(
+                    KeyTrim(
+                        object_key=object_key,
+                        device=device,
+                        survivors=sum(
+                            1
+                            for survivor in new_replicas
+                            if alive is None or alive.get(survivor, True)
+                        ),
+                    )
+                )
         gained = [
             device
             for device in new_replicas
@@ -154,8 +218,10 @@ def plan_migration(
         kind=kind,
         device_id=device_id,
         moves=moves,
+        trims=trims,
         total_keys=len(old_placement),
         devices_before=devices_before,
         devices_after=devices_after,
         replication=replication,
+        hash_minimal=hash_minimal,
     )

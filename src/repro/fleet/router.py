@@ -33,7 +33,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.csd.device import BusyInterval, ColdStorageDevice, DeviceConfig, DeviceStats
+from repro.csd.device import (
+    BusyInterval,
+    ColdStorageDevice,
+    DeviceConfig,
+    DeviceStats,
+    MigrationTokenBucket,
+)
 from repro.csd.layout import LayoutPolicy, extend_layout_with_keys
 from repro.csd.object_store import ObjectStore, split_object_key
 from repro.csd.request import GetRequest, MigrationJob
@@ -42,7 +48,14 @@ from repro.exceptions import FleetError
 from repro.fleet.membership import FleetMembership, MemberRecord
 from repro.fleet.migration import MigrationPlan, plan_migration
 from repro.fleet.placement import build_placement
-from repro.fleet.spec import DeviceFailure, DeviceJoin, DeviceLeave, FleetSpec, device_name
+from repro.fleet.spec import (
+    DeviceFailure,
+    DeviceJoin,
+    DeviceLeave,
+    FleetSpec,
+    SetReplication,
+    device_name,
+)
 from repro.sim import Environment
 
 SchedulerFactory = Callable[[], IOScheduler]
@@ -87,6 +100,10 @@ class FleetRouterStats:
     failed_over: int = 0
     #: Requests handed off from a gracefully leaving device's queue.
     handed_off: int = 0
+    #: Migration jobs withdrawn from a fail-stopped device's queue (a dead
+    #: device performs no further I/O, so its pending rebalance work is
+    #: dropped uncharged).
+    dropped_migration_jobs: int = 0
     per_tenant_device_served: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def record_served(self, tenant: str, device_id: str) -> None:
@@ -128,15 +145,27 @@ class FleetRouter:
         self._key_order: List[str] = [
             key for keys in self.client_objects.values() for key in keys
         ]
+        #: key -> position in the canonical ordering; lets plan execution
+        #: sort a plan's gained keys in O(M log M) instead of rescanning
+        #: every client's full key list per gaining device.
+        self._key_rank: Dict[str, int] = {
+            key: rank for rank, key in enumerate(self._key_order)
+        }
         self._policy = build_placement(
             fleet_spec.placement,
             fleet_spec.replication,
             virtual_nodes=fleet_spec.virtual_nodes,
         )
+        #: Replication factor the current placement was computed at (tracks
+        #: ``SetReplication`` events and repair under device loss).
+        self.placement_replication = fleet_spec.replication
         #: object key -> replica device ids, primary first (current epoch).
         self.placement: Dict[str, Tuple[str, ...]] = self._policy.place(
             self._key_order, list(fleet_spec.device_ids)
         )
+        #: Per-epoch replication health: under-replicated key counts sampled
+        #: when each epoch opened (before its plan ran) and after.
+        self.replication_log: List[Dict[str, object]] = []
 
         self.members: List[FleetMember] = []
         self._member_by_id: Dict[str, FleetMember] = {}
@@ -157,11 +186,13 @@ class FleetRouter:
                 )
             )
         for event in fleet_spec.events:
-            kind = "join" if isinstance(event, DeviceJoin) else "leave"
+            if isinstance(event, SetReplication):
+                name = f"fleet-set-replication:{event.replication}"
+            else:
+                kind = "join" if isinstance(event, DeviceJoin) else "leave"
+                name = f"fleet-{kind}:{event.device}"
             self.admin_processes.append(
-                env.process(
-                    self._membership_event(event), name=f"fleet-{kind}:{event.device}"
-                )
+                env.process(self._membership_event(event), name=name)
             )
 
     # ------------------------------------------------------------------ #
@@ -184,6 +215,13 @@ class FleetRouter:
         }
         return {client: keys for client, keys in subset.items() if keys}
 
+    def _make_throttle(self) -> Optional[MigrationTokenBucket]:
+        """Fresh per-device token bucket, or ``None`` for strict priority."""
+        throttle = self.spec.throttle
+        if throttle is None:
+            return None
+        return MigrationTokenBucket(throttle.objects_per_second, throttle.burst)
+
     def _create_member(
         self, record: MemberRecord, subset: Mapping[str, Sequence[str]]
     ) -> FleetMember:
@@ -198,6 +236,7 @@ class FleetRouter:
                 layout=self.layout_policy.build(subset),
                 scheduler=self.scheduler_factory(),
                 config=record.config,
+                migration_throttle=self._make_throttle(),
             )
         member = FleetMember(
             device_id=record.device_id,
@@ -241,6 +280,11 @@ class FleetRouter:
         def _on_complete(_event) -> None:
             member = self._owner_by_request.pop(request.request_id)
             member.outstanding -= 1
+            if member.outstanding < 0:
+                raise FleetError(
+                    f"device {member.device_id!r} completed more requests "
+                    "than were routed to it (outstanding went negative)"
+                )
             tenant, _segment = split_object_key(request.object_key)
             self.stats.record_served(tenant, member.device_id)
 
@@ -267,7 +311,8 @@ class FleetRouter:
         return live[0]
 
     # ------------------------------------------------------------------ #
-    # Failure handling (fail-stop: epoch advances, no migration)
+    # Failure handling (fail-stop: epoch advances; with ``repair`` the lost
+    # replicas are re-created on surviving owners as charged migration I/O)
     # ------------------------------------------------------------------ #
     def _fail_device(self, failure: DeviceFailure):
         if failure.at_seconds > 0:
@@ -277,13 +322,25 @@ class FleetRouter:
         member.alive = False
         member.failed_at = self.env.now
         device = member.device
-        if device is None:
-            return
         # Fail-stop at a request boundary: the transfer in flight (if any)
-        # completes normally, everything still queued fails over.
-        for request in device.drain_pending():
-            member.outstanding -= 1
-            self.stats.failed_over += 1
+        # completes normally, everything still queued fails over — and any
+        # migration I/O still queued on the corpse is dropped outright (a
+        # dead device performs no further reads or writes, ever).
+        drained: List[GetRequest] = []
+        if device is not None:
+            drained = device.drain_pending()
+            for _request in drained:
+                member.outstanding -= 1
+                self.stats.failed_over += 1
+            self.stats.dropped_migration_jobs += len(device.drain_migration_jobs())
+        if self.spec.repair and self.membership.replication >= 2:
+            # Read-repair: re-place over the survivors and re-create the dead
+            # device's replicas from live sources, so the fleet returns to R
+            # live replicas per key instead of silently staying degraded.
+            self._rebalance("repair", member.device_id, reason="repair")
+        else:
+            self._record_replication_health("failure")
+        for request in drained:
             self.submit(request)
 
     # ------------------------------------------------------------------ #
@@ -296,6 +353,8 @@ class FleetRouter:
             self._apply_join(event)
         elif isinstance(event, DeviceLeave):
             self._apply_leave(event)
+        elif isinstance(event, SetReplication):
+            self._apply_set_replication(event)
         else:  # pragma: no cover - spec validation rejects other types
             raise FleetError(f"unknown membership event {event!r}")
 
@@ -325,10 +384,53 @@ class FleetRouter:
         for request in drained:
             self.submit(request)
 
-    def _rebalance(self, kind: str, device_id: str) -> None:
+    def _apply_set_replication(self, event: SetReplication) -> None:
+        """Raise or lower R: re-replicate (R up) or trim (R down) the
+        affected keys, as one epoch with its own migration plan."""
+        self.membership.set_replication(event.replication, self.env.now)
+        self._rebalance("set-replication", "fleet", reason="replicate")
+
+    def _under_replicated_count(self, placement: Mapping[str, Sequence[str]]) -> int:
+        """Keys with fewer live replicas than the current target."""
+        target = self.effective_replication
+        return sum(
+            1
+            for replicas in placement.values()
+            if sum(1 for device_id in replicas if self._member_by_id[device_id].alive)
+            < target
+        )
+
+    def _record_replication_health(
+        self, kind: str, at_open: Optional[int] = None
+    ) -> None:
+        """Append one per-epoch replication-health sample.
+
+        ``under_replicated_at_open`` is the count the instant the epoch
+        opened — for a failure, the degradation the loss itself caused;
+        ``under_replicated_after_plan`` is what remained once the epoch's
+        plan ran (unchanged when no plan ran, e.g. repair disabled).
+        """
+        after = self._under_replicated_count(self.placement)
+        self.replication_log.append(
+            {
+                "epoch": self.membership.epoch,
+                "at_seconds": self.env.now,
+                "kind": kind,
+                "replication": self.membership.replication,
+                "under_replicated_at_open": after if at_open is None else at_open,
+                "under_replicated_after_plan": after,
+            }
+        )
+
+    def _rebalance(self, kind: str, device_id: str, reason: str = "rebalance") -> None:
         """Advance placement to the new epoch and execute the minimal plan."""
         epoch_record = self.membership.epoch_log[-1]
         old_placement = self.placement
+        under_replicated_before = self._under_replicated_count(old_placement)
+        # The effective factor adapts to the roster: a repair pass after a
+        # loss can only restore min(R, serving) replicas per key.
+        replication = self.effective_replication
+        self._policy.replication = replication
         new_placement = self._policy.place(
             self._key_order, list(self.membership.serving_ids())
         )
@@ -343,17 +445,20 @@ class FleetRouter:
             alive=alive,
             devices_before=epoch_record.devices_before,
             devices_after=epoch_record.devices_after,
-            replication=self.spec.replication,
+            replication=replication,
+            hash_minimal=self.spec.placement == "consistent-hash",
             # Layouts are append-only, so a device that held a key in an
             # earlier epoch still physically has it: re-adopting such a
             # replica costs no migration I/O.
             resident=self._holds_object,
         )
         self.placement = new_placement
-        self._execute_plan(plan)
+        self.placement_replication = replication
+        self._execute_plan(plan, reason=reason)
         self.migration_plans.append(plan)
+        self._record_replication_health(kind, at_open=under_replicated_before)
 
-    def _execute_plan(self, plan: MigrationPlan) -> None:
+    def _execute_plan(self, plan: MigrationPlan, reason: str = "rebalance") -> None:
         """Extend destination layouts and charge the migration I/O."""
         gained: Dict[str, List[str]] = {}
         for move in plan.moves:
@@ -363,14 +468,10 @@ class FleetRouter:
             keys = gained.get(member.device_id)
             if not keys:
                 continue
-            gained_set = set(keys)
-            # Keys in client order, mirroring how initial layouts are built.
-            ordered = [
-                key
-                for client_keys in self.client_objects.values()
-                for key in client_keys
-                if key in gained_set
-            ]
+            # Keys in client order, mirroring how initial layouts are built
+            # (the precomputed rank map keeps this O(M log M) per device
+            # instead of a scan over every client's full key list).
+            ordered = sorted(keys, key=self._key_rank.__getitem__)
             if member.device is None:
                 # A device with no ColdStorageDevice held nothing before, so
                 # its gained keys are exactly its subset of the (already
@@ -382,6 +483,7 @@ class FleetRouter:
                     layout=self.layout_policy.build(self._subset_for(member.device_id)),
                     scheduler=self.scheduler_factory(),
                     config=record.config,
+                    migration_throttle=self._make_throttle(),
                 )
             else:
                 extend_layout_with_keys(member.device.layout, ordered)
@@ -401,6 +503,7 @@ class FleetRouter:
                         direction="read",
                         seconds=source.device.config.transfer_seconds_per_object,
                         epoch=plan.epoch,
+                        reason=reason,
                         notify=_account,
                     )
                 )
@@ -410,6 +513,7 @@ class FleetRouter:
                     direction="write",
                     seconds=dest.device.config.transfer_seconds_per_object,
                     epoch=plan.epoch,
+                    reason=reason,
                     notify=_account,
                 )
             )
@@ -427,6 +531,11 @@ class FleetRouter:
     def epoch(self) -> int:
         """Current membership epoch (0 until the first membership change)."""
         return self.membership.epoch
+
+    @property
+    def effective_replication(self) -> int:
+        """Replicas per key the current roster can actually sustain."""
+        return min(self.membership.replication, len(self.membership.serving_ids()))
 
     @property
     def busy_intervals(self) -> List[BusyInterval]:
@@ -454,6 +563,7 @@ class FleetRouter:
             combined.migration_interference_seconds += (
                 stats.migration_interference_seconds
             )
+            combined.migration_deferrals += stats.migration_deferrals
             for client_id, count in stats.objects_per_client.items():
                 combined.objects_per_client[client_id] = (
                     combined.objects_per_client.get(client_id, 0) + count
@@ -544,6 +654,79 @@ class FleetRouter:
             "per_epoch_imbalance": self.per_epoch_imbalance(total_simulated_time),
         }
 
+    def replication_metrics(self) -> Dict[str, object]:
+        """The ``replication`` health section of the scenario report."""
+        repair_plans = [plan for plan in self.migration_plans if plan.kind == "repair"]
+        replicate_plans = [
+            plan for plan in self.migration_plans if plan.kind == "set-replication"
+        ]
+        throttle = self.spec.throttle
+        throttle_metrics: Optional[Dict[str, object]] = None
+        if throttle is not None:
+            observed: Dict[str, float] = {}
+            for member in self.members:
+                if member.device is None:
+                    continue
+                migration_intervals = [
+                    interval
+                    for interval in member.device.busy_intervals
+                    if interval.kind == "migration"
+                ]
+                if len(migration_intervals) <= throttle.burst:
+                    continue
+                # Sustained rate between token consumptions (job starts).
+                # The first `burst` jobs ride pre-accrued tokens and are
+                # spaced only by transfer time, so they are excluded from
+                # the numerator: the figure is never above the configured
+                # cap, which auditors compare it against.
+                window = migration_intervals[-1].start - migration_intervals[0].start
+                observed[member.device_id] = (
+                    (len(migration_intervals) - throttle.burst) / window
+                    if window > 0
+                    else 0.0
+                )
+            throttle_metrics = {
+                "objects_per_second": throttle.objects_per_second,
+                "burst": throttle.burst,
+                "deferrals": self.device_stats.migration_deferrals,
+                "observed_objects_per_second": observed,
+            }
+        return {
+            "initial_replication": self.spec.replication,
+            "replication": self.membership.replication,
+            "effective_replication": self.effective_replication,
+            "repair_enabled": self.spec.repair,
+            "changes": [
+                record.to_dict()
+                for record in self.membership.epoch_log
+                if record.kind == "set-replication"
+            ],
+            "per_epoch": list(self.replication_log),
+            "under_replicated_keys": self._under_replicated_count(self.placement),
+            "repair_objects": sum(plan.objects_migrated for plan in repair_plans),
+            "repair_seconds": sum(plan.migration_seconds for plan in repair_plans),
+            "replicate_objects": sum(
+                plan.objects_migrated for plan in replicate_plans
+            ),
+            "replicate_seconds": sum(
+                plan.migration_seconds for plan in replicate_plans
+            ),
+            "replicas_trimmed_total": sum(
+                plan.replicas_trimmed for plan in self.migration_plans
+            ),
+            "dropped_migration_jobs": self.stats.dropped_migration_jobs,
+            # Migration I/O still queued when the run ended.  The copies
+            # already landed at plan time, so nothing is lost — but their
+            # charge is missing from migration/interference seconds, and a
+            # throttle paced slower than the workload makes this non-zero.
+            "unfinished_migration_jobs": sum(
+                member.device.pending_migration_jobs()
+                for member in self.members
+                if member.device is not None
+            ),
+            "throttle": throttle_metrics,
+        }
+
     def metrics(self, total_simulated_time: float) -> Dict[str, object]:
         """Fleet-level metrics section of the scenario report."""
         # Imported here, not at module level: repro.cluster composes the
@@ -594,7 +777,7 @@ class FleetRouter:
         total_served = sum(member.objects_served() for member in self.members)
         return {
             "devices": len(self.members),
-            "replication": self.spec.replication,
+            "replication": self.membership.replication,
             "placement": self.spec.placement,
             "replica_policy": self.spec.replica_policy,
             "per_device": per_device,

@@ -8,10 +8,19 @@ the degenerate single-CSD setup the original paper reproduces; anything
 larger turns the run into a sharded multi-device experiment.
 
 Beyond the static shape (size, replication, placement) a fleet can be
-*elastic*: ``events`` lists membership changes — :class:`DeviceJoin` and
-:class:`DeviceLeave` — that fire at fixed simulated times and advance the
-fleet's placement epoch, and ``profiles`` makes the fleet *heterogeneous* by
-overriding individual devices' switch/transfer latencies.
+*elastic*: ``events`` lists membership changes — :class:`DeviceJoin`,
+:class:`DeviceLeave` and :class:`SetReplication` — that fire at fixed
+simulated times and advance the fleet's placement epoch, and ``profiles``
+makes the fleet *heterogeneous* by overriding individual devices'
+switch/transfer latencies.
+
+Replication is a *lifecycle*, not a frozen placement parameter:
+:class:`SetReplication` raises or lowers R mid-run (re-replicating or
+trimming only the affected keys), ``repair`` turns fail-stop losses into a
+read-repair pass that restores the lost replicas on surviving owners, and
+:class:`MigrationThrottle` rate-limits all of that rebalance I/O with a
+per-device token bucket so it interleaves with foreground queries instead
+of starving them.
 """
 
 from __future__ import annotations
@@ -165,8 +174,71 @@ class DeviceProfile:
         }
 
 
+@dataclass(frozen=True)
+class SetReplication:
+    """A replication-factor change fired at a fixed simulated time.
+
+    The change advances the membership epoch and diffs the placement at the
+    old vs new R over the current serving roster.  Raising R re-replicates
+    every key onto its new owners (write-path replication charged as
+    migration I/O); lowering R trims the surplus replicas from the placement
+    — trims are pure bookkeeping (layouts are append-only) and never drop a
+    key's last live replica, which the ``replication-repair`` invariant pins.
+    """
+
+    replication: int
+    at_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ScenarioError(
+                f"replication factor must be >= 1, got {self.replication}"
+            )
+        _validate_event_time("set-replication", self.at_seconds)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "set-replication",
+            "replication": self.replication,
+            "at_seconds": self.at_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class MigrationThrottle:
+    """Token-bucket rate limit on rebalance I/O, per device.
+
+    Each device accrues ``objects_per_second`` migration tokens (up to
+    ``burst``); a migration read/write consumes one.  With no tokens left,
+    pending foreground queries are served first and the deferral is counted;
+    an otherwise idle device simply waits for the bucket to refill.  Without
+    a throttle, migration work runs at strict priority over queries (the
+    pre-throttle behaviour).
+    """
+
+    objects_per_second: float
+    burst: int = 1
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.objects_per_second) or self.objects_per_second <= 0:
+            raise ScenarioError(
+                "throttle objects_per_second must be finite and positive, "
+                f"got {self.objects_per_second!r}"
+            )
+        if not isinstance(self.burst, int) or isinstance(self.burst, bool) or self.burst < 1:
+            raise ScenarioError(
+                f"throttle burst must be an integer >= 1, got {self.burst!r}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "objects_per_second": self.objects_per_second,
+            "burst": self.burst,
+        }
+
+
 #: Membership events accepted by ``FleetSpec.events``.
-MembershipEvent = (DeviceJoin, DeviceLeave)
+MembershipEvent = (DeviceJoin, DeviceLeave, SetReplication)
 
 
 @dataclass(frozen=True)
@@ -179,10 +251,18 @@ class FleetSpec:
     replica_policy: str = "primary-first"
     virtual_nodes: int = DEFAULT_VIRTUAL_NODES
     failures: Tuple[DeviceFailure, ...] = ()
-    #: Membership changes (joins / graceful leaves) fired at simulated times.
+    #: Membership changes (joins / graceful leaves / replication-factor
+    #: changes) fired at simulated times.
     events: Tuple[object, ...] = ()
     #: Per-device latency overrides (heterogeneous fleets).
     profiles: Tuple[DeviceProfile, ...] = ()
+    #: Read-repair after fail-stop losses: with R >= 2, the lost replicas are
+    #: re-created on surviving owners as charged migration I/O.  ``False``
+    #: pins the pre-repair behaviour (the fleet silently stays
+    #: under-replicated after a failure).
+    repair: bool = True
+    #: Rate limit on migration/repair I/O; ``None`` keeps strict priority.
+    throttle: Optional[MigrationThrottle] = None
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -204,8 +284,13 @@ class FleetSpec:
             )
         if self.virtual_nodes < 1:
             raise ScenarioError(f"virtual_nodes must be >= 1, got {self.virtual_nodes}")
+        if self.throttle is not None and not isinstance(self.throttle, MigrationThrottle):
+            raise ScenarioError(
+                f"throttle must be a MigrationThrottle or None, got {self.throttle!r}"
+            )
         self._validate_failures()
         self._validate_events()
+        self._validate_timeline()
         self._validate_profiles()
 
     def _validate_failures(self) -> None:
@@ -216,16 +301,6 @@ class FleetSpec:
             )
         if len(set(failed)) != len(failed):
             raise ScenarioError("each device may fail at most once")
-        if self.failures and self.replication < 2:
-            raise ScenarioError(
-                "device failures require replication >= 2; with a single "
-                "replica the failed device's queued objects would be lost"
-            )
-        if len(self.failures) >= self.replication:
-            raise ScenarioError(
-                f"at most replication-1 devices may fail (R={self.replication}); "
-                "otherwise some object could lose every replica"
-            )
 
     def _validate_events(self) -> None:
         if not self.events:
@@ -236,17 +311,19 @@ class FleetSpec:
                 f"{self.placement!r} would reshuffle nearly every key on a "
                 "membership change"
             )
-        joins = [event for event in self.events if isinstance(event, DeviceJoin)]
-        leaves = [event for event in self.events if isinstance(event, DeviceLeave)]
-        if len(joins) + len(leaves) != len(self.events):
+        joins = list(self.joins)
+        leaves = list(self.leaves)
+        r_changes = [event for event in self.events if isinstance(event, SetReplication)]
+        if len(joins) + len(leaves) + len(r_changes) != len(self.events):
             bad = next(
                 event
                 for event in self.events
                 if not isinstance(event, MembershipEvent)
             )
             raise ScenarioError(
-                f"fleet events must be DeviceJoin or DeviceLeave, got {bad!r} "
-                "(device failures go in FleetSpec.failures)"
+                f"fleet events must be DeviceJoin, DeviceLeave or "
+                f"SetReplication, got {bad!r} (device failures go in "
+                "FleetSpec.failures)"
             )
         join_indexes = [event.device for event in joins]
         if any(index < self.devices for index in join_indexes):
@@ -276,35 +353,86 @@ class FleetSpec:
                     raise ScenarioError(
                         f"device {leave.device} must join strictly before it leaves"
                     )
-        # Walk the membership changes in the exact order they fire at run
-        # time — by timestamp, ties broken by process-creation order
-        # (failures are registered before events, each in listed order) —
-        # and reject any point where the serving fleet dips below R.  The
-        # final count alone is not enough: a leave can transiently
-        # under-replicate the fleet even if a later join restores it.
+
+    def _validate_timeline(self) -> None:
+        """Walk failures and events in firing order, tracking serving count
+        and the replication factor in effect.
+
+        Changes fire by timestamp, ties broken by process-creation order
+        (failures are registered before events, each in listed order).  The
+        final counts alone are not enough: a leave can transiently
+        under-replicate the fleet even if a later join restores it, and a
+        failure is only survivable under the R in effect *at that instant*.
+        """
+        if not self.failures and not self.events:
+            return
         changes = [
-            (failure.at_seconds, index, -1, False)
+            (failure.at_seconds, index, "failure", failure)
             for index, failure in enumerate(self.failures)
         ] + [
             (
                 event.at_seconds,
                 len(self.failures) + index,
-                1 if isinstance(event, DeviceJoin) else -1,
-                True,
+                event.to_dict()["kind"],
+                event,
             )
             for index, event in enumerate(self.events)
         ]
         serving = self.devices
-        for _at, _order, delta, recomputes in sorted(changes):
-            serving += delta
+        replication = self.replication
+        failures_seen = 0
+        for _at, _order, kind, change in sorted(changes, key=lambda item: item[:2]):
+            if kind == "failure":
+                failures_seen += 1
+                if replication < 2:
+                    raise ScenarioError(
+                        "device failures require replication >= 2 at the "
+                        "failure instant; with a single replica the failed "
+                        "device's queued objects would be lost"
+                    )
+                if self.repair:
+                    # Each loss is re-replicated before the next change, so
+                    # the cumulative failure budget resets; what must hold is
+                    # that every failure still finds a surviving replica to
+                    # repair from.
+                    if serving < 2:
+                        raise ScenarioError(
+                            "a failure at this point would leave no surviving "
+                            "device to repair from; reorder the events or "
+                            "keep more devices serving"
+                        )
+                elif failures_seen >= replication:
+                    raise ScenarioError(
+                        f"at most replication-1 devices may fail "
+                        f"(R={replication}); otherwise some object could "
+                        "lose every replica (enable repair to re-replicate "
+                        "between well-spaced losses)"
+                    )
+                serving -= 1
+                continue
+            if kind == "set-replication":
+                if change.replication == replication:
+                    raise ScenarioError(
+                        f"SetReplication at {change.at_seconds} sets the "
+                        f"factor to {replication}, which it already is"
+                    )
+                if change.replication > serving:
+                    raise ScenarioError(
+                        f"SetReplication to {change.replication} at "
+                        f"{change.at_seconds} exceeds the {serving} device(s) "
+                        "serving at that instant"
+                    )
+                replication = change.replication
+                continue
+            serving += 1 if kind == "join" else -1
             # Fail-stop losses route around the dead replicas without a
             # placement recompute; only joins/leaves re-place over the
             # serving set, which must then hold at least R devices.
-            if recomputes and serving < self.replication:
+            if serving < replication:
                 raise ScenarioError(
                     f"membership timeline drops the fleet to {serving} "
                     f"serving device(s), below the replication factor "
-                    f"{self.replication}; reorder the events or lower R"
+                    f"{replication}; reorder the events or lower R"
                 )
 
     def _validate_profiles(self) -> None:
@@ -337,6 +465,13 @@ class FleetSpec:
         return tuple(event for event in self.events if isinstance(event, DeviceLeave))
 
     @property
+    def replication_changes(self) -> Tuple[SetReplication, ...]:
+        """The replication-factor changes, in listed order."""
+        return tuple(
+            event for event in self.events if isinstance(event, SetReplication)
+        )
+
+    @property
     def heterogeneous(self) -> bool:
         """Whether any device deviates from the scenario-wide config."""
         return bool(self.profiles) or any(
@@ -354,4 +489,6 @@ class FleetSpec:
             "failures": [failure.to_dict() for failure in self.failures],
             "events": [event.to_dict() for event in self.events],
             "profiles": [profile.to_dict() for profile in self.profiles],
+            "repair": self.repair,
+            "throttle": self.throttle.to_dict() if self.throttle is not None else None,
         }

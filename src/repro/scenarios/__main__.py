@@ -21,7 +21,12 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.exceptions import ReproError
-from repro.scenarios.budgets import check_budget, load_budgets, write_budgets
+from repro.scenarios.budgets import (
+    check_budget,
+    check_wall_time,
+    load_budgets,
+    write_budgets,
+)
 from repro.scenarios.golden import assert_dict_matches_golden, write_golden
 from repro.scenarios.parallel import ScenarioOutcome, run_scenarios
 from repro.scenarios.registry import get_scenario, scenario_names
@@ -76,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="override the golden directory (default: tests/golden)",
+    )
+    parser.add_argument(
+        "--enforce-wall-time",
+        action="store_true",
+        help="with --check: fail scenarios exceeding their committed "
+        "wall_time_budget (default off; wall time is machine-dependent)",
     )
     return parser
 
@@ -147,13 +158,17 @@ def _render_scenario_table(golden_dir: Optional[Path] = None) -> str:
 def _render_membership(fleet) -> str:
     """Compact membership-event summary for the ``--list`` table.
 
-    Joins render as ``+csdN@Ts``, graceful leaves as ``-csdN@Ts`` and
-    fail-stop losses as ``xcsdN@Ts``; a static fleet shows ``-``.
+    Joins render as ``+csdN@Ts``, graceful leaves as ``-csdN@Ts``,
+    fail-stop losses as ``xcsdN@Ts`` and replication changes as ``R=r@Ts``;
+    a static fleet shows ``-``.
     """
-    from repro.fleet.spec import DeviceJoin
+    from repro.fleet.spec import DeviceJoin, SetReplication
 
     parts = []
     for event in fleet.events:
+        if isinstance(event, SetReplication):
+            parts.append(f"R={event.replication}@{event.at_seconds:g}s")
+            continue
         sign = "+" if isinstance(event, DeviceJoin) else "-"
         parts.append(f"{sign}csd{event.device}@{event.at_seconds:g}s")
     for failure in fleet.failures:
@@ -220,6 +235,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
                 if budgets is not None:
                     check_budget(outcome.name, outcome.simulated_time, budgets)
+                    if arguments.enforce_wall_time:
+                        check_wall_time(
+                            outcome.name, outcome.wall_seconds or 0.0, budgets
+                        )
             except ReproError as error:
                 failures += 1
                 print(f"FAIL {outcome.name}\n{error}", file=sys.stderr)
@@ -235,12 +254,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if arguments.regen_budgets:
         simulated_times = {}
+        wall_times = {}
         for outcome in run_scenarios(scenario_names(), jobs=arguments.jobs):
             if not outcome.ok:
                 _print_failure(outcome)
                 return 1
             simulated_times[outcome.name] = outcome.simulated_time
-        path = write_budgets(simulated_times, golden_dir=arguments.golden_dir)
+            wall_times[outcome.name] = outcome.wall_seconds or 0.0
+        path = write_budgets(
+            simulated_times, golden_dir=arguments.golden_dir, wall_times=wall_times
+        )
         print(f"wrote {path}")
         return 0
 

@@ -24,9 +24,14 @@ must hold for *any* configuration:
 * **Fleet rebalance** (fleet runs with membership events) — epochs advance
   strictly monotonically, every migration plan stays within the
   bounded-migration envelope (≈2·R·K/N keys, far below a naive full
-  reshuffle), departed devices perform only migration reads after leaving,
-  joiners perform no work before joining, and zero objects are lost across
-  the rebalance.
+  reshuffle; an R change may legitimately sweep all K keys), departed
+  devices perform only migration reads after leaving, joiners perform no
+  work before joining, and zero objects are lost across the rebalance.
+* **Replication repair** (fleet runs that repaired, re-replicated or
+  trimmed) — after a read-repair pass or a ``SetReplication`` change every
+  surviving key returns to ``min(R, serving)`` live replicas, trims never
+  drop a key's last replica, and no device's outstanding counter ends
+  non-zero.
 
 A violated invariant raises :class:`~repro.exceptions.InvariantViolation`;
 the list of checks that ran is recorded in the scenario report so golden
@@ -265,9 +270,14 @@ def check_cache_bounds(result: ClusterResult) -> bool:
 
 
 def check_fleet_placement(cluster: ClusterLike) -> None:
-    """Every object sits on exactly R distinct devices that truly hold it."""
+    """Every object sits on exactly R distinct devices that truly hold it.
+
+    R here is the replication factor the current placement was computed at:
+    ``SetReplication`` events move it away from the spec's initial value, and
+    a repair pass after device loss can only sustain ``min(R, serving)``.
+    """
     fleet = cluster.fleet
-    replication = fleet.spec.replication
+    replication = fleet.placement_replication
     members_by_id = {member.device_id: member for member in fleet.members}
     for object_key, replicas in fleet.placement.items():
         if len(replicas) != replication or len(set(replicas)) != len(replicas):
@@ -331,9 +341,10 @@ def check_fleet_rebalance(cluster: ClusterLike) -> bool:
     """
     fleet = cluster.fleet
     membership = fleet.membership
-    if not fleet.spec.events:
-        # Static membership (possibly with fail-stop losses): nothing was
-        # rebalanced, so the epoch/migration invariants would be vacuous.
+    if not fleet.spec.events and not fleet.migration_plans:
+        # Static membership (possibly with fail-stop losses and repair
+        # disabled): nothing was rebalanced, so the epoch/migration
+        # invariants would be vacuous.
         return False
     previous_time = 0.0
     for position, record in enumerate(membership.epoch_log, start=1):
@@ -399,6 +410,80 @@ def check_fleet_rebalance(cluster: ClusterLike) -> bool:
     return True
 
 
+def check_replication_repair(cluster: ClusterLike) -> bool:
+    """Replication-lifecycle invariants (skipped when nothing rebalanced).
+
+    * **Full replication restored** — after a read-repair pass or a
+      ``SetReplication`` change, every surviving key holds exactly
+      ``min(R, serving devices)`` *live* replicas, each physically present
+      in its device's layout: repair actually heals the loss, R-up actually
+      replicates, and R-down never over-trims.
+    * **Trims keep a live replica** — no plan's trim ever left a key with
+      zero *live* replicas (each :class:`~repro.fleet.migration.KeyTrim`
+      records the live survivor count at plan time, so a placement diffed
+      against a stale roster of dead devices would be caught here).
+    * **Outstanding counters stay sane** — no device ends the run with a
+      negative or non-zero outstanding count (the router raises mid-run if
+      one ever goes negative).
+    """
+    fleet = cluster.fleet
+    plans = fleet.migration_plans
+    trims = [trim for plan in plans for trim in plan.trims]
+    healed = any(
+        plan.kind in ("repair", "set-replication") for plan in plans
+    ) or (fleet.spec.repair and any(m.failed_at is not None for m in fleet.members))
+    # An *unrepaired* loss after the last placement recompute legitimately
+    # leaves the end state degraded (repair disabled), so full replication
+    # cannot be demanded of it — earlier plans notwithstanding.  A recompute
+    # at or after the failure re-places over the survivors and clears the
+    # taint (at equal timestamps the failure process fires first).
+    failure_times = [m.failed_at for m in fleet.members if m.failed_at is not None]
+    unrepaired_loss = (
+        bool(failure_times)
+        and not fleet.spec.repair
+        and (not plans or max(failure_times) > max(p.at_seconds for p in plans))
+    )
+    healed = healed and not unrepaired_loss
+    if not healed and not trims:
+        return False
+    for trim in trims:
+        if trim.survivors < 1:
+            raise InvariantViolation(
+                f"trim of {trim.object_key!r} off {trim.device!r} dropped "
+                "the key's last replica"
+            )
+    members_by_id = {member.device_id: member for member in fleet.members}
+    for member in fleet.members:
+        if member.outstanding != 0:
+            raise InvariantViolation(
+                f"device {member.device_id!r} ended the run with "
+                f"{member.outstanding} outstanding request(s)"
+            )
+    if healed:
+        target = fleet.effective_replication
+        for object_key, replicas in fleet.placement.items():
+            live = [
+                device_id
+                for device_id in replicas
+                if members_by_id[device_id].alive
+            ]
+            if len(live) != target:
+                raise InvariantViolation(
+                    f"object {object_key!r} holds {len(live)} live replica(s) "
+                    f"after repair/replication changes, expected {target}"
+                )
+            for device_id in live:
+                member = members_by_id[device_id]
+                if member.device is None or not member.device.layout.has_object(
+                    object_key
+                ):
+                    raise InvariantViolation(
+                        f"live replica of {object_key!r} on {device_id!r} is "
+                        "not physically present in the device's layout"
+                    )
+    return True
+
+
 def check_invariants(cluster: ClusterLike, result: ClusterResult) -> List[str]:
     """Run every applicable invariant; return the names of those checked."""
     checked = ["conservation", "monotone-clock"]
@@ -415,4 +500,6 @@ def check_invariants(cluster: ClusterLike, result: ClusterResult) -> List[str]:
             checked.append("fleet-failover")
         if check_fleet_rebalance(cluster):
             checked.append("fleet-rebalance")
+        if check_replication_repair(cluster):
+            checked.append("replication-repair")
     return checked

@@ -22,6 +22,8 @@ from repro.fleet.spec import (
     DeviceLeave,
     DeviceProfile,
     FleetSpec,
+    MigrationThrottle,
+    SetReplication,
 )
 from repro.scenarios.arrivals import BurstyArrival, PoissonArrival, UniformArrival
 from repro.scenarios.spec import ScenarioSpec, TenantSpec, uniform_tenants
@@ -258,6 +260,9 @@ def fleet_device_loss() -> ScenarioSpec:
             placement="consistent-hash",
             replica_policy="least-loaded",
             failures=(DeviceFailure(device=0, at_seconds=40.0),),
+            # Pins the pure failover path: no read-repair, the fleet stays
+            # under-replicated (fleet-repair-after-loss pins the repair).
+            repair=False,
         ),
         seed=42,
     )
@@ -305,6 +310,8 @@ def fleet_loss_at_scale() -> ScenarioSpec:
             replication=2,
             replica_policy="least-loaded",
             failures=(DeviceFailure(device=1, at_seconds=300.0),),
+            # Failover-only baseline at scale; repair is pinned separately.
+            repair=False,
         ),
         seed=42,
     )
@@ -388,6 +395,67 @@ def fleet_rebalance_under_load() -> ScenarioSpec:
             devices=3,
             replication=1,
             events=(DeviceJoin(device=3, at_seconds=100.0),),
+        ),
+        seed=42,
+    )
+
+
+@register
+def fleet_replication_upgrade() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-replication-upgrade",
+        description="Write-path replication under load: a four-device fleet "
+        "starts at R=1 and raises the factor to 2 mid-run.  The "
+        "SetReplication epoch diffs the placement at the old vs new R and "
+        "re-replicates every key onto its new owner as charged migration "
+        "I/O; the replication-repair invariant pins that every key ends "
+        "with exactly 2 live replicas.",
+        tenants=uniform_tenants(4, "tpch:q12", cache_capacity=8, repetitions=2),
+        fleet=FleetSpec(
+            devices=4,
+            replication=1,
+            replica_policy="least-loaded",
+            events=(SetReplication(replication=2, at_seconds=80.0),),
+        ),
+        seed=42,
+    )
+
+
+@register
+def fleet_repair_after_loss() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-repair-after-loss",
+        description="Read-repair after fail-stop loss: one device of a "
+        "three-device R=2 fleet dies mid-run and the repair pass re-creates "
+        "its replicas on the survivors from live sources (charged migration "
+        "I/O), instead of leaving the fleet silently under-replicated.",
+        tenants=uniform_tenants(4, "tpch:q12", cache_capacity=8),
+        fleet=FleetSpec(
+            devices=3,
+            replication=2,
+            replica_policy="least-loaded",
+            failures=(DeviceFailure(device=0, at_seconds=40.0),),
+        ),
+        seed=42,
+    )
+
+
+@register
+def fleet_throttled_rebalance() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-throttled-rebalance",
+        description="The fleet-rebalance-under-load join, rate-limited: a "
+        "per-device token bucket paces migration I/O so it interleaves "
+        "with the bursty foreground traffic instead of running at strict "
+        "priority.  Pins strictly lower foreground interference seconds "
+        "than the unthrottled twin for the same join.",
+        tenants=uniform_tenants(8, "tpch:q12", cache_capacity=8),
+        arrival=BurstyArrival(burst_size=2, burst_gap_seconds=90.0, jitter_seconds=4.0),
+        fleet=FleetSpec(
+            devices=3,
+            replication=1,
+            events=(DeviceJoin(device=3, at_seconds=100.0),),
+            throttle=MigrationThrottle(objects_per_second=0.1),
         ),
         seed=42,
     )

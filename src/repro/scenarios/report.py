@@ -26,8 +26,14 @@ FLOAT_PRECISION = 9
 #: the embedded spec.  Version 4 added the ``rebalance`` section (membership
 #: epochs, migration plans, per-epoch imbalance) plus the ``events`` /
 #: ``profiles`` fields of the embedded fleet spec; all other metrics are
-#: unchanged.
-SCHEMA_VERSION = 4
+#: unchanged.  Version 5 added the ``replication`` health section
+#: (under-replicated key counts per epoch, repair/re-replication I/O,
+#: throttle deferrals and observed rates), the ``repair`` / ``throttle``
+#: fields of the embedded fleet spec, the ``replication`` field of epoch
+#: records and the ``keys_trimmed`` / ``replicas_trimmed`` fields of
+#: migration plans; admission ``fairness_jain`` is now computed only over
+#: tenants that actually queued.
+SCHEMA_VERSION = 5
 
 
 def canonical(value: Any) -> Any:
@@ -102,6 +108,10 @@ class ScenarioReport:
     #: Elastic-fleet metrics (membership epochs, migration plans, interference,
     #: per-epoch imbalance); ``None`` for single-device scenarios.
     rebalance: Optional[Dict[str, Any]] = None
+    #: Replication health (under-replicated keys per epoch, repair and
+    #: re-replication I/O, throttle behaviour); ``None`` for single-device
+    #: scenarios.
+    replication: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Canonical nested-dict form (deterministic for a given run)."""
@@ -130,6 +140,7 @@ class ScenarioReport:
                 "fleet": self.fleet,
                 "admission": self.admission,
                 "rebalance": self.rebalance,
+                "replication": self.replication,
                 "invariants_checked": sorted(self.invariants_checked),
             }
         )

@@ -215,11 +215,13 @@ class ScenarioRunner:
             rebalance_metrics = service.fleet.rebalance_metrics(
                 result.total_simulated_time
             )
+            replication_metrics = service.fleet.replication_metrics()
         else:
             scheduler_switches = service.scheduler.num_switches
             max_waiting = service.scheduler.max_waiting_seen
             fleet_metrics = None
             rebalance_metrics = None
+            replication_metrics = None
         admission_metrics = (
             service.admission.summary() if service.admission is not None else None
         )
@@ -247,6 +249,7 @@ class ScenarioRunner:
             fleet=fleet_metrics,
             admission=admission_metrics,
             rebalance=rebalance_metrics,
+            replication=replication_metrics,
         )
 
     @staticmethod

@@ -132,8 +132,9 @@ class ScenarioSpec:
     transfer_seconds: float = 9.6
     concurrent_transfers: bool = False
     #: When set, the scenario runs against a sharded multi-device fleet
-    #: (placement, replication, optional mid-run device failures) instead of
-    #: the single shared CSD.
+    #: (placement, replication lifecycle — R changes, read-repair, throttled
+    #: rebalance I/O — and optional mid-run device failures) instead of the
+    #: single shared CSD.
     fleet: Optional[FleetSpec] = None
     #: When set, queries pass through the service façade's admission
     #: controller (in-flight caps, bounded queue, typed rejections).  ``None``
@@ -179,6 +180,11 @@ class ScenarioSpec:
                     f"scenario {self.name!r}: layout_param must be a tuple of "
                     f"positive integers, got {self.layout_param!r}"
                 )
+        if self.fleet is not None and not isinstance(self.fleet, FleetSpec):
+            raise ScenarioError(
+                f"scenario {self.name!r}: fleet must be a FleetSpec or None, "
+                f"got {self.fleet!r}"
+            )
         if self.admission is not None and not isinstance(self.admission, AdmissionConfig):
             raise ScenarioError(
                 f"scenario {self.name!r}: admission must be an AdmissionConfig "

@@ -177,10 +177,19 @@ class AdmissionController:
 
     def release(self, tenant_id: str) -> None:
         """Return a slot after a query finished; grants eligible waiters FIFO."""
-        if self._in_flight_total <= 0:  # pragma: no cover - defensive
+        if self._in_flight_total <= 0:
             raise ConfigurationError("admission release without a matching grant")
+        # The global counter alone cannot catch a mismatched release: other
+        # tenants' in-flight queries keep it positive while this tenant's
+        # counter would silently go negative (inflating its capacity under
+        # a per-tenant cap).
+        in_flight = self._in_flight_by_tenant.get(tenant_id, 0)
+        if in_flight <= 0:
+            raise ConfigurationError(
+                f"admission release without a matching grant for tenant {tenant_id!r}"
+            )
         self._in_flight_total -= 1
-        self._in_flight_by_tenant[tenant_id] -= 1
+        self._in_flight_by_tenant[tenant_id] = in_flight - 1
         self._grant_waiters()
 
     def _grant_waiters(self) -> None:
@@ -231,7 +240,15 @@ class AdmissionController:
             }
             for tenant_id, counters in sorted(self._counters.items())
         }
-        delay_means = [entry["mean_queue_delay"] for entry in per_tenant.values()]
+        # Fairness is a statement about *queueing* tenants: one that was
+        # always admitted straight through (or only ever rejected) recorded
+        # no delay, and counting its 0.0 mean would drag the index down as
+        # if it had been favoured with instant grants.
+        delay_means = [
+            entry["mean_queue_delay"]
+            for tenant_id, entry in per_tenant.items()
+            if self._queue_delays.get(tenant_id)
+        ]
         return {
             "config": self.config.to_dict(),
             "submitted": sum(c.submitted for c in self._counters.values()),

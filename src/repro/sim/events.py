@@ -99,23 +99,25 @@ class Timeout(Event):
 
 
 class AllOf(Event):
-    """Composite event that fires when every child event has fired."""
+    """Composite event that fires when every child event has fired.
+
+    Children are always awaited through their callbacks, never peeked at via
+    ``triggered``: a :class:`Timeout` is *triggered* the moment it is created
+    (its value is known) but only *dispatches* when the clock reaches it, and
+    composites must fire on dispatch.  ``add_callback`` re-schedules already
+    dispatched children, so completion still arrives through the event queue
+    in deterministic order.
+    """
 
     def __init__(self, env: "Environment", events: List[Event]) -> None:
         super().__init__(env, name=f"all_of({len(events)})")
-        self._pending = 0
+        self._pending = len(events)
         self._results: List[Any] = [None] * len(events)
         if not events:
             self.succeed([])
             return
         for index, event in enumerate(events):
-            if event.triggered and event._exception is None:
-                self._results[index] = event.value
-                continue
-            self._pending += 1
             event.add_callback(self._make_child_callback(index))
-        if self._pending == 0:
-            self.succeed(list(self._results))
 
     def _make_child_callback(self, index: int) -> Callable[[Event], None]:
         def _on_child(event: Event) -> None:
@@ -133,19 +135,19 @@ class AllOf(Event):
 
 
 class AnyOf(Event):
-    """Composite event that fires as soon as one child event has fired."""
+    """Composite event that fires as soon as one child event has fired.
+
+    As with :class:`AllOf`, children are awaited through their callbacks so
+    that a not-yet-dispatched :class:`Timeout` child (triggered at creation,
+    delivered at its scheduled time) does not make the composite fire
+    immediately.
+    """
 
     def __init__(self, env: "Environment", events: List[Event]) -> None:
         super().__init__(env, name=f"any_of({len(events)})")
         if not events:
             raise SimulationError("AnyOf requires at least one event")
         for event in events:
-            if event.triggered:
-                if event.exception is not None:
-                    self.fail(event.exception)
-                else:
-                    self.succeed(event.value)
-                return
             event.add_callback(self._on_child)
 
     def _on_child(self, event: Event) -> None:

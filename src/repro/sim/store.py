@@ -56,3 +56,17 @@ class Store:
         if self._items:
             return self._items.popleft()
         return None
+
+    def cancel(self, event: Event) -> None:
+        """Withdraw a pending ``get`` event.
+
+        A getter abandoned while still waiting would silently swallow the
+        next ``put`` (the item hands off to an event nobody consumes), so a
+        consumer racing a ``get`` against another wake-up source must cancel
+        the loser.  Cancelling an event that already fired (or was never a
+        getter of this store) is a no-op — the caller owns its value.
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass

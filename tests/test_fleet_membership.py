@@ -322,7 +322,10 @@ class TestMultiEpochSequences:
     def test_leave_after_failure_never_reads_from_the_dead_device(self):
         """A key whose replicas were exactly {failed device, leaver} must be
         sourced from the leaver (which still holds the data), never from the
-        fail-stopped device — a dead device performs no I/O, ever."""
+        fail-stopped device — a dead device performs no I/O, ever.  Repair is
+        disabled so the loss is still unhealed when the leave fires (with
+        repair on, the failure epoch would re-replicate immediately and the
+        leave would always find a live source)."""
         spec = ScenarioSpec(
             name="leave-after-failure",
             description="x",
@@ -332,6 +335,7 @@ class TestMultiEpochSequences:
                 replication=2,
                 failures=(DeviceFailure(device=1, at_seconds=30.0),),
                 events=(DeviceLeave(device=0, at_seconds=60.0),),
+                repair=False,
             ),
             seed=42,
         )

@@ -205,12 +205,34 @@ class TestSpecValidation:
         with pytest.raises(ScenarioError, match="replication >= 2"):
             FleetSpec(devices=3, replication=1, failures=(DeviceFailure(0, 10.0),))
 
-    def test_too_many_failures_rejected(self):
+    def test_too_many_failures_rejected_without_repair(self):
         with pytest.raises(ScenarioError, match="replication-1"):
             FleetSpec(
                 devices=3,
                 replication=2,
                 failures=(DeviceFailure(0, 10.0), DeviceFailure(1, 20.0)),
+                repair=False,
+            )
+
+    def test_repair_lifts_the_cumulative_failure_budget(self):
+        # With read-repair each loss is re-replicated before the next, so
+        # R-1 is no longer a lifetime cap — every failure just needs a
+        # surviving device to repair from.
+        FleetSpec(
+            devices=3,
+            replication=2,
+            failures=(DeviceFailure(0, 10.0), DeviceFailure(1, 20.0)),
+        )
+        # ... which is exactly what the last failure here lacks.
+        with pytest.raises(ScenarioError, match="no surviving device"):
+            FleetSpec(
+                devices=3,
+                replication=2,
+                failures=(
+                    DeviceFailure(0, 10.0),
+                    DeviceFailure(1, 20.0),
+                    DeviceFailure(2, 30.0),
+                ),
             )
 
     def test_failure_index_bounds_checked(self):

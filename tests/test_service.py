@@ -248,6 +248,54 @@ class TestAdmissionControl:
         assert controller.in_flight == 2
         assert controller.waiting == 0
 
+    def test_release_without_grant_rejected_globally(self):
+        controller = AdmissionController(Environment(), AdmissionConfig(max_in_flight=2))
+        with pytest.raises(ConfigurationError, match="without a matching grant"):
+            controller.release("a")
+
+    def test_release_without_grant_rejected_per_tenant(self):
+        """Regression: a mismatched release used to drive the per-tenant
+        counter negative whenever *other* tenants' in-flight queries kept the
+        global counter positive — silently inflating the culprit tenant's
+        capacity under a per-tenant cap."""
+        controller = AdmissionController(
+            Environment(), AdmissionConfig(max_in_flight_per_tenant=1)
+        )
+        controller.request("a")
+        controller.request("c")  # keeps the global counter positive throughout
+        with pytest.raises(ConfigurationError, match="tenant 'b'"):
+            controller.release("b")  # never granted
+        # A double release of a granted tenant is caught the same way.
+        controller.release("a")
+        with pytest.raises(ConfigurationError, match="tenant 'a'"):
+            controller.release("a")
+        # The failed releases corrupted nothing: tenant a can run again.
+        assert controller.request("a").event.triggered
+
+    def test_fairness_only_counts_tenants_that_queued(self):
+        """Regression: tenants admitted straight through (or only rejected)
+        recorded no queue delay, and their 0.0 means used to drag
+        fairness_jain down as if they had been favoured."""
+        env = Environment()
+        controller = AdmissionController(env, AdmissionConfig(max_in_flight=1))
+        controller.request("instant")  # admitted, never queues
+        waiting = controller.request("patient")  # queues behind it
+        assert waiting.queued
+        env.run(until=5.0)
+        controller.release("instant")  # grants the waiter after 5s of delay
+        summary = controller.summary()
+        assert summary["per_tenant"]["instant"]["queued"] == 0
+        assert summary["per_tenant"]["patient"]["mean_queue_delay"] == 5.0
+        # Only the queueing tenant counts: one sample, perfectly fair.
+        assert summary["fairness_jain"] == 1.0
+
+    def test_fairness_is_one_when_nobody_queued(self):
+        env = Environment()
+        controller = AdmissionController(env, AdmissionConfig(max_in_flight=8))
+        controller.request("a")
+        controller.request("b")
+        assert controller.summary()["fairness_jain"] == 1.0
+
     def test_admission_config_validation(self):
         with pytest.raises(ConfigurationError):
             AdmissionConfig(max_in_flight=-1)

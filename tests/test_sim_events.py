@@ -136,6 +136,75 @@ def test_any_of_fires_on_first_event():
     assert waiter_proc.value == (1.0, "fast")
 
 
+def test_any_of_waits_for_timeout_children():
+    """Regression: a Timeout is *triggered* at creation (value known) but
+    only dispatches when the clock reaches it — AnyOf must fire at the
+    earliest dispatch, not instantly in its constructor."""
+    env = Environment()
+
+    def waiter(env):
+        value = yield env.any_of([env.timeout(5.0, "slow"), env.timeout(2.0, "fast")])
+        return (env.now, value)
+
+    waiter_proc = env.process(waiter(env))
+    env.run()
+    assert waiter_proc.value == (2.0, "fast")
+
+
+def test_all_of_waits_for_timeout_children():
+    env = Environment()
+
+    def waiter(env):
+        values = yield env.all_of([env.timeout(3.0, "a"), env.timeout(1.0, "b")])
+        return (env.now, values)
+
+    waiter_proc = env.process(waiter(env))
+    env.run()
+    assert waiter_proc.value == (3.0, ["a", "b"])
+
+
+def test_any_of_races_timeout_against_store_get():
+    """The throttled-device idle-wait idiom: race a token refill against an
+    inbox arrival, and cancel the losing getter so the next put is not
+    handed to an event nobody consumes."""
+    env = Environment()
+    store = Store(env, name="inbox")
+    log = []
+
+    def consumer(env):
+        arrival = store.get()
+        yield env.any_of([env.timeout(10.0), arrival])
+        if arrival.triggered:
+            log.append(("item", env.now, arrival.value))
+        else:
+            store.cancel(arrival)
+            log.append(("refill", env.now, None))
+
+    def producer(env):
+        yield env.timeout(4.0)
+        store.put("mid-wait")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    # The arrival won the race: the consumer woke at t=4 with the item, well
+    # before the t=10 refill.
+    assert log == [("item", 4.0, "mid-wait")]
+
+
+def test_store_cancel_withdraws_pending_getter():
+    env = Environment()
+    store = Store(env, name="inbox")
+    abandoned = store.get()
+    store.cancel(abandoned)
+    store.put("x")
+    # The canceled getter did not swallow the item: it is still queued.
+    assert not abandoned.triggered
+    assert store.try_get() == "x"
+    # Cancelling a non-getter / already-fired event is a harmless no-op.
+    store.cancel(abandoned)
+
+
 def test_store_fifo_ordering():
     env = Environment()
     store = Store(env)
