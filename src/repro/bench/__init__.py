@@ -1,0 +1,300 @@
+"""Macro-benchmark harness for the simulator core.
+
+The scenario registry's golden runs are deliberately small — they exist to
+pin *behaviour*, byte for byte, not to stress the event loop.  This package
+holds the complement: a pinned set of **macro** scenarios (scaled-up
+variants of the golden workload shapes) that run long enough for wall time
+to mean something, plus the measurement loop that times them and writes a
+machine-readable summary to ``BENCH_6.json`` at the repository root.
+
+Three macro shapes, mirroring where profiles show the simulator spends its
+time:
+
+* ``macro-sf-heavy`` — a scale-factor-heavy single-device run (four tenants
+  of TPC-H Q5 at SF-100): dominated by the query engine (joins, predicate
+  evaluation, subplan execution).
+* ``macro-fleet-churn`` — a sixteen-device R=2 fleet under membership churn
+  (two joins, a graceful leave and a fail-stop loss while twelve tenants
+  hammer Q12 at SF-50): dominated by the event loop, placement diffs and
+  the report-phase waiting attribution.
+* ``macro-throttled-rebalance`` — a join under bursty load with migration
+  I/O throttled by a per-device token bucket: exercises the rebalance path
+  where foreground and background I/O interleave.
+
+Each measurement separates the build / run / report phases, counts events
+actually *dispatched* by the simulation core, and derives events/second
+from the run phase alone.  ``--smoke`` shrinks every scenario to seconds
+for CI; the full suite is for before/after comparisons when touching the
+hot paths.  Numbers in a committed ``BENCH_6.json`` are machine-dependent:
+compare ratios measured on one machine, never absolute times across two.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.fleet.spec import (
+    DeviceFailure,
+    DeviceJoin,
+    DeviceLeave,
+    FleetSpec,
+    MigrationThrottle,
+)
+from repro.scenarios.arrivals import BurstyArrival
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec, uniform_tenants
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Committed output file, numbered by the PR that introduced the harness.
+DEFAULT_OUTPUT_NAME = "BENCH_6.json"
+
+
+def repo_root() -> Path:
+    """Repository root (three levels above ``src/repro/bench``)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def macro_specs(smoke: bool = False) -> List[ScenarioSpec]:
+    """The pinned macro scenarios, full-size or CI-sized (``smoke``)."""
+    if smoke:
+        return [
+            ScenarioSpec(
+                name="macro-sf-heavy",
+                description="Smoke-sized engine-bound run: two TPC-H Q5 "
+                "tenants at the small scale on one device.",
+                tenants=uniform_tenants(2, "tpch:q5", cache_capacity=30),
+                scale="small",
+                seed=42,
+            ),
+            ScenarioSpec(
+                name="macro-fleet-churn",
+                description="Smoke-sized churn: four Q12 tenants on a "
+                "four-device R=2 fleet with one join and one failure.",
+                tenants=uniform_tenants(4, "tpch:q12", cache_capacity=8),
+                scale="tiny",
+                fleet=FleetSpec(
+                    devices=4,
+                    replication=2,
+                    replica_policy="least-loaded",
+                    events=(DeviceJoin(device=4, at_seconds=60.0),),
+                    failures=(DeviceFailure(device=0, at_seconds=120.0),),
+                ),
+                seed=42,
+            ),
+            ScenarioSpec(
+                name="macro-throttled-rebalance",
+                description="Smoke-sized throttled join under bursty load.",
+                tenants=uniform_tenants(3, "tpch:q12", cache_capacity=8),
+                scale="tiny",
+                arrival=BurstyArrival(
+                    burst_size=2, burst_gap_seconds=60.0, jitter_seconds=4.0
+                ),
+                fleet=FleetSpec(
+                    devices=3,
+                    events=(DeviceJoin(device=3, at_seconds=80.0),),
+                    throttle=MigrationThrottle(objects_per_second=0.1),
+                ),
+                seed=42,
+            ),
+        ]
+    return [
+        ScenarioSpec(
+            name="macro-sf-heavy",
+            description="Engine-bound macro: four TPC-H Q5 tenants at SF-100 "
+            "on one device, two repetitions each — the query engine "
+            "(joins, predicates, subplans) dominates.",
+            tenants=uniform_tenants(
+                4, "tpch:q5", cache_capacity=30, repetitions=2
+            ),
+            scale="sf100",
+            seed=42,
+        ),
+        ScenarioSpec(
+            name="macro-fleet-churn",
+            description="Core-loop macro: twelve Q12 tenants at SF-50 on a "
+            "sixteen-device R=2 fleet through two joins, a graceful leave "
+            "and a fail-stop loss — the event loop, placement diffs and "
+            "report-phase attribution dominate.",
+            tenants=uniform_tenants(
+                12, "tpch:q12", cache_capacity=8, repetitions=6
+            ),
+            scale="sf50",
+            fleet=FleetSpec(
+                devices=16,
+                replication=2,
+                replica_policy="least-loaded",
+                events=(
+                    DeviceJoin(device=16, at_seconds=120.0),
+                    DeviceJoin(device=17, at_seconds=240.0),
+                    DeviceLeave(device=0, at_seconds=360.0),
+                ),
+                failures=(DeviceFailure(device=1, at_seconds=480.0),),
+            ),
+            seed=42,
+        ),
+        ScenarioSpec(
+            name="macro-throttled-rebalance",
+            description="Rebalance macro: a join lands mid-run on a "
+            "six-device R=2 fleet under bursty Q12 load at SF-50, with "
+            "migration I/O paced by a per-device token bucket so "
+            "foreground and background I/O interleave.",
+            tenants=uniform_tenants(
+                8, "tpch:q12", cache_capacity=8, repetitions=3
+            ),
+            scale="sf50",
+            arrival=BurstyArrival(
+                burst_size=2, burst_gap_seconds=90.0, jitter_seconds=4.0
+            ),
+            fleet=FleetSpec(
+                devices=6,
+                replication=2,
+                replica_policy="least-loaded",
+                events=(DeviceJoin(device=6, at_seconds=150.0),),
+                throttle=MigrationThrottle(objects_per_second=0.5),
+            ),
+            seed=42,
+        ),
+    ]
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process so far, in kilobytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise to KB
+    so committed documents agree on the unit.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
+
+
+def _event_count(env: Any) -> int:
+    """Events delivered by the core, tolerating the pre-counter core.
+
+    The batched environment counts deliveries in ``dispatched``; the old
+    heap core only carried ``_sequence`` (events *scheduled*, all of which
+    are delivered by the time a run drains) — close enough for a
+    before/after ratio measured by the same harness.
+    """
+    dispatched = getattr(env, "dispatched", None)
+    if dispatched is not None:
+        return int(dispatched)
+    return int(getattr(env, "_sequence", 0))
+
+
+def run_one(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Run one macro scenario and measure its phases.
+
+    Events/second is computed over the run phase only: building catalogs
+    and condensing the report are real costs (and reported), but the
+    events/sec figure is meant to track the simulation core.
+    """
+    runner = ScenarioRunner(check=False)
+    build_start = time.perf_counter()
+    service = runner.build_service(spec)
+    run_start = time.perf_counter()
+    result = service.run()
+    report_start = time.perf_counter()
+    # The report assembly is a measured phase of its own because waiting
+    # attribution over the device busy log is a known hot path; the private
+    # helper is the exact code path ScenarioRunner.run() takes.
+    report = runner._build_report(spec, service, result, [])
+    end = time.perf_counter()
+    events = _event_count(service.env)
+    run_seconds = report_start - run_start
+    return {
+        "description": spec.description,
+        "build_seconds": round(run_start - build_start, 4),
+        "run_seconds": round(run_seconds, 4),
+        "report_seconds": round(end - report_start, 4),
+        "wall_seconds": round(end - build_start, 4),
+        "events_dispatched": events,
+        "events_per_second": round(events / run_seconds, 1) if run_seconds else 0.0,
+        "simulated_time": report.total_simulated_time,
+        "queries_run": sum(
+            client.queries_run for client in report.clients.values()
+        ),
+        "peak_rss_kb_after": peak_rss_kb(),
+    }
+
+
+def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
+    """Run the macro suite and assemble the ``BENCH_6.json`` document."""
+    scenarios: Dict[str, Dict[str, Any]] = {}
+    for spec in macro_specs(smoke):
+        scenarios[spec.name] = run_one(spec)
+    total_run = sum(entry["run_seconds"] for entry in scenarios.values())
+    total_events = sum(entry["events_dispatched"] for entry in scenarios.values())
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmark": "BENCH_6",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": scenarios,
+        "totals": {
+            "wall_seconds": round(
+                sum(entry["wall_seconds"] for entry in scenarios.values()), 4
+            ),
+            "run_seconds": round(total_run, 4),
+            "events_dispatched": total_events,
+            "events_per_second": round(total_events / total_run, 1)
+            if total_run
+            else 0.0,
+        },
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+def attach_baseline(
+    document: Dict[str, Any], baseline: Mapping[str, Any], label: str = "baseline"
+) -> Dict[str, Any]:
+    """Embed a prior run's numbers plus per-scenario speedup ratios.
+
+    ``baseline`` is a document produced by the same harness (typically run
+    against a pre-change checkout); speedups are events/sec ratios, the
+    core-loop metric the harness exists to guard.
+    """
+    speedups: Dict[str, float] = {}
+    base_scenarios = baseline.get("scenarios", {})
+    for name, entry in document["scenarios"].items():
+        base = base_scenarios.get(name)
+        if not base or not base.get("events_per_second"):
+            continue
+        speedups[name] = round(
+            entry["events_per_second"] / base["events_per_second"], 2
+        )
+    document[label] = {
+        "label": str(baseline.get("label", "pre-change")),
+        "totals": baseline.get("totals", {}),
+        "scenarios": {
+            name: {
+                key: base[key]
+                for key in (
+                    "wall_seconds",
+                    "run_seconds",
+                    "events_dispatched",
+                    "events_per_second",
+                )
+                if key in base
+            }
+            for name, base in base_scenarios.items()
+        },
+        "speedup_events_per_second": speedups,
+    }
+    return document
+
+
+def write_document(document: Mapping[str, Any], path: Optional[Path] = None) -> Path:
+    """Write the benchmark document as stable, diffable JSON."""
+    path = path or (repo_root() / DEFAULT_OUTPUT_NAME)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,83 @@
+"""CLI for the macro-benchmark harness.
+
+Run the pinned macro scenarios and write ``BENCH_6.json``::
+
+    python -m repro.bench                 # full suite (minutes)
+    python -m repro.bench --smoke         # CI-sized (seconds)
+    python -m repro.bench --baseline old.json   # embed speedup ratios
+
+``--baseline`` takes a document previously written by this harness
+(typically produced from a pre-change checkout) and embeds its numbers and
+per-scenario events/sec speedup ratios in the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench import (
+    DEFAULT_OUTPUT_NAME,
+    attach_baseline,
+    repo_root,
+    run_benchmarks,
+    write_document,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the pinned macro benchmarks and write BENCH_6.json.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run CI-sized variants of every macro scenario (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"output path (default: {DEFAULT_OUTPUT_NAME} at the repository root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="a prior BENCH document to embed as the comparison baseline",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    arguments = build_parser().parse_args(argv)
+    document = run_benchmarks(smoke=arguments.smoke)
+    if arguments.baseline is not None:
+        baseline = json.loads(arguments.baseline.read_text())
+        attach_baseline(document, baseline)
+    path = write_document(document, arguments.output)
+    totals = document["totals"]
+    print(f"wrote {path}")
+    print(
+        f"mode={document['mode']} run={totals['run_seconds']:.2f}s "
+        f"events={totals['events_dispatched']} "
+        f"events/sec={totals['events_per_second']:.0f} "
+        f"peak_rss={document['peak_rss_kb']}KB"
+    )
+    for name, entry in document["scenarios"].items():
+        print(
+            f"  {name}: run={entry['run_seconds']:.2f}s "
+            f"events/sec={entry['events_per_second']:.0f} "
+            f"simulated={entry['simulated_time']:.1f}s"
+        )
+    speedups = document.get("baseline", {}).get("speedup_events_per_second", {})
+    for name, ratio in speedups.items():
+        print(f"  speedup {name}: {ratio:.2f}x events/sec vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,8 +12,9 @@
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.csd.device import BusyInterval
 from repro.exceptions import ConfigurationError
@@ -46,11 +47,6 @@ class ExecutionBreakdown:
         }
 
 
-def _overlap(a_start: float, a_end: float, b_start: float, b_end: float) -> float:
-    """Length of the intersection of two closed intervals."""
-    return max(0.0, min(a_end, b_end) - max(a_start, b_start))
-
-
 def merge_intervals(intervals: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
     """Union of a collection of closed intervals as disjoint, sorted spans.
 
@@ -73,10 +69,63 @@ def merge_intervals(intervals: Sequence[Tuple[float, float]]) -> List[Tuple[floa
     return merged
 
 
+class MergedSpans:
+    """Union of intervals supporting windowed overlap queries.
+
+    The merged spans are disjoint and sorted, so both their starts and their
+    ends are monotonically increasing; a query window ``[start, end]`` can
+    bisect to the contiguous run of spans it intersects instead of scanning
+    the whole union.  Skipped spans would have contributed exactly ``0.0`` to
+    the running sum, and adding ``0.0`` is the floating-point identity, so
+    the windowed sum is bit-identical to the full scan.
+    """
+
+    __slots__ = ("spans", "_starts", "_ends")
+
+    def __init__(self, intervals: Sequence[Tuple[float, float]]) -> None:
+        self.spans = merge_intervals(intervals)
+        self._starts = [span[0] for span in self.spans]
+        self._ends = [span[1] for span in self.spans]
+
+    def overlap(self, start: float, end: float) -> float:
+        """Total length of the union's intersection with ``[start, end]``."""
+        low = bisect_right(self._ends, start)
+        high = bisect_left(self._starts, end, low)
+        total = 0.0
+        spans = self.spans
+        for index in range(low, high):
+            span_start, span_end = spans[index]
+            total += (span_end if span_end < end else end) - (
+                span_start if span_start > start else start
+            )
+        return total
+
+
+def busy_span_index(
+    busy_intervals: Sequence[BusyInterval],
+) -> Tuple["MergedSpans", "MergedSpans"]:
+    """Precompute the (all-busy, transfer-only) span unions for a run.
+
+    ``attribute_waiting`` re-derives both unions from the raw busy intervals
+    on every call; a service reporting hundreds of query results against the
+    same interval log should build this index once and pass it in.
+    """
+    relevant = [
+        interval for interval in busy_intervals if interval.end > 0 and interval.duration > 0
+    ]
+    transfer_spans = MergedSpans(
+        [(busy.start, busy.end) for busy in relevant if busy.kind != "switch"]
+    )
+    busy_spans = MergedSpans([(busy.start, busy.end) for busy in relevant])
+    return busy_spans, transfer_spans
+
+
 def attribute_waiting(
     blocked_intervals: Sequence[Tuple[float, float]],
     busy_intervals: Sequence[BusyInterval],
     processing_time: float = 0.0,
+    *,
+    span_index: Optional[Tuple["MergedSpans", "MergedSpans"]] = None,
 ) -> ExecutionBreakdown:
     """Attribute a client's blocked time to device switches vs. transfers.
 
@@ -96,17 +145,13 @@ def attribute_waiting(
     switch_wait = 0.0
     transfer_wait = 0.0
     total_blocked = 0.0
-    relevant = [
-        interval for interval in busy_intervals if interval.end > 0 and interval.duration > 0
-    ]
-    transfer_spans = merge_intervals(
-        [(busy.start, busy.end) for busy in relevant if busy.kind != "switch"]
-    )
-    busy_spans = merge_intervals([(busy.start, busy.end) for busy in relevant])
+    if span_index is None:
+        span_index = busy_span_index(busy_intervals)
+    busy_spans, transfer_spans = span_index
     for start, end in merge_intervals(blocked_intervals):
         total_blocked += end - start
-        covered = sum(_overlap(start, end, *span) for span in busy_spans)
-        transferring = sum(_overlap(start, end, *span) for span in transfer_spans)
+        covered = busy_spans.overlap(start, end)
+        transferring = transfer_spans.overlap(start, end)
         transfer_wait += transferring
         # Seconds covered by busy time but not by any transfer: a switch was
         # the only thing happening (switch-while-transferring counts as
@@ -178,13 +223,17 @@ def imbalance_coefficient(values: Iterable[float]) -> float:
     0.0 means perfectly even load across devices; the fleet layer reports it
     both fleet-wide and per membership epoch, which is how a rebalance is
     shown to actually *balance* (the post-join coefficient drops).  An empty
-    or all-zero vector is perfectly balanced by convention.
+    or all-zero vector is perfectly balanced by convention; negative loads
+    are a sign of broken accounting and are rejected rather than silently
+    reported as balance.
     """
     values = list(values)
     if not values:
         return 0.0
+    if any(value < 0 for value in values):
+        raise ConfigurationError("imbalance_coefficient requires non-negative values")
     mean_value = sum(values) / len(values)
-    if mean_value <= 0:
+    if mean_value == 0:
         return 0.0
     variance = sum((value - mean_value) ** 2 for value in values) / len(values)
     return variance**0.5 / mean_value

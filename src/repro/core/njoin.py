@@ -9,7 +9,6 @@ merely probes them.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.operators.base import OperatorStats, Row
@@ -46,12 +45,26 @@ class PreparedSegment:
         """Return (building if necessary) the hash table on ``key_columns``."""
         table = self.hash_tables.get(key_columns)
         if table is None:
-            table = defaultdict(list)
-            for row in self.rows:
-                key = tuple(row[column] for column in key_columns)
-                table[key].append(row)
-            self.hash_tables[key_columns] = dict(table)
-        return self.hash_tables[key_columns]
+            table = {}
+            if len(key_columns) == 1:
+                column = key_columns[0]
+                for row in self.rows:
+                    key = (row[column],)
+                    bucket = table.get(key)
+                    if bucket is None:
+                        table[key] = [row]
+                    else:
+                        bucket.append(row)
+            else:
+                for row in self.rows:
+                    key = tuple([row[column] for column in key_columns])
+                    bucket = table.get(key)
+                    if bucket is None:
+                        table[key] = [row]
+                    else:
+                        bucket.append(row)
+            self.hash_tables[key_columns] = table
+        return table
 
 
 def prepare_segment(
@@ -102,15 +115,25 @@ class NAryJoin:
                 condition.column_for(step.table) for condition in step.conditions
             )
             hash_table = segments[step.table].hash_table(build_columns)
+            # Every probe row increments the counter exactly once, so the
+            # per-row increment can be hoisted out of the loop.
+            stats.tuples_probed += len(current)
             next_rows: List[Row] = []
-            for row in current:
-                stats.tuples_probed += 1
-                key = tuple(row[column] for column in probe_columns)
-                matches = hash_table.get(key)
-                if not matches:
-                    continue
-                for match in matches:
-                    next_rows.append(merge_rows(match, row))
+            append = next_rows.append
+            table_get = hash_table.get
+            if len(probe_columns) == 1:
+                probe_column = probe_columns[0]
+                for row in current:
+                    matches = table_get((row[probe_column],))
+                    if matches:
+                        for match in matches:
+                            append(merge_rows(match, row))
+            else:
+                for row in current:
+                    matches = table_get(tuple([row[column] for column in probe_columns]))
+                    if matches:
+                        for match in matches:
+                            append(merge_rows(match, row))
             current = next_rows
             if not current:
                 return []

@@ -121,6 +121,99 @@ class BusyInterval:
         return self.end - self.start
 
 
+class IntervalLog:
+    """Append-optimised log of :class:`BusyInterval` records.
+
+    The device appends one record per switch/transfer/migration on the hot
+    path, but consumers (metrics, invariants, the fleet router) only read
+    the intervals after the run.  Records are therefore kept as plain
+    column tuples — far cheaper to append than a frozen dataclass — and
+    materialised into :class:`BusyInterval` objects lazily, once, on first
+    read.  The log behaves like a list of ``BusyInterval`` for iteration,
+    indexing and mutation.
+    """
+
+    __slots__ = ("_rows", "_cache")
+
+    def __init__(self) -> None:
+        self._rows: List[tuple] = []
+        self._cache: Optional[List[BusyInterval]] = None
+
+    def record(
+        self,
+        start: float,
+        end: float,
+        kind: str,
+        group_id: int,
+        client_id: Optional[str] = None,
+        query_id: Optional[str] = None,
+        object_key: Optional[str] = None,
+    ) -> None:
+        """Append one interval without building a ``BusyInterval`` object."""
+        self._cache = None
+        self._rows.append((start, end, kind, group_id, client_id, query_id, object_key))
+
+    def append(self, interval: BusyInterval) -> None:
+        """List-style append of an already-built interval."""
+        self.record(
+            interval.start,
+            interval.end,
+            interval.kind,
+            interval.group_id,
+            interval.client_id,
+            interval.query_id,
+            interval.object_key,
+        )
+
+    def _materialise(self) -> List[BusyInterval]:
+        cache = self._cache
+        if cache is None:
+            cache = [BusyInterval(*row) for row in self._rows]
+            self._cache = cache
+        return cache
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __iter__(self):
+        return iter(self._materialise())
+
+    def __getitem__(self, index):
+        return self._materialise()[index]
+
+    def __setitem__(self, index: int, interval: BusyInterval) -> None:
+        self._cache = None
+        self._rows[index] = (
+            interval.start,
+            interval.end,
+            interval.kind,
+            interval.group_id,
+            interval.client_id,
+            interval.query_id,
+            interval.object_key,
+        )
+
+    def total_duration(self) -> float:
+        """Sum of interval durations, in log order (no materialisation)."""
+        total = 0.0
+        for row in self._rows:
+            total += row[1] - row[0]
+        return total
+
+    def window_overlap(self, start: float, end: float) -> float:
+        """Summed overlap of every interval with ``[start, end]``, log order."""
+        total = 0.0
+        for row in self._rows:
+            total += max(
+                0.0,
+                (row[1] if row[1] < end else end) - (row[0] if row[0] > start else start),
+            )
+        return total
+
+
 @dataclass
 class DeviceStats:
     """Aggregate counters maintained by the device."""
@@ -167,7 +260,7 @@ class ColdStorageDevice:
         #: over foreground GETs, in arrival order.
         self._admin_jobs = deque()
         self.current_group: Optional[int] = None
-        self.busy_intervals: List[BusyInterval] = []
+        self.busy_intervals: IntervalLog = IntervalLog()
         self.stats = DeviceStats()
         self._client_busy_until: Dict[str, float] = {}
         self._inflight = 0
@@ -352,16 +445,14 @@ class ColdStorageDevice:
             else -1
         )
         tenant, _segment = split_object_key(job.object_key)
-        self.busy_intervals.append(
-            BusyInterval(
-                start=start,
-                end=end,
-                kind="migration",
-                group_id=group,
-                client_id=tenant,
-                query_id=f"{job.reason}:{job.direction}:epoch{job.epoch}",
-                object_key=job.object_key,
-            )
+        self.busy_intervals.record(
+            start,
+            end,
+            "migration",
+            group,
+            client_id=tenant,
+            query_id=f"{job.reason}:{job.direction}:epoch{job.epoch}",
+            object_key=job.object_key,
         )
         self.stats.migration_jobs += 1
         self.stats.migration_seconds += end - start
@@ -374,9 +465,7 @@ class ColdStorageDevice:
         start = self.env.now
         if self.config.group_switch_seconds > 0:
             yield self.env.timeout(self.config.group_switch_seconds)
-        self.busy_intervals.append(
-            BusyInterval(start=start, end=self.env.now, kind="switch", group_id=group)
-        )
+        self.busy_intervals.record(start, self.env.now, "switch", group)
         self.current_group = group
         self.stats.group_switches += 1
         self.scheduler.notify_switch(group)
@@ -411,16 +500,14 @@ class ColdStorageDevice:
             drained.succeed(None)
 
     def _complete(self, request: GetRequest, group: int, start: float, end: float) -> None:
-        self.busy_intervals.append(
-            BusyInterval(
-                start=start,
-                end=end,
-                kind="transfer",
-                group_id=group,
-                client_id=request.client_id,
-                query_id=request.query_id,
-                object_key=request.object_key,
-            )
+        self.busy_intervals.record(
+            start,
+            end,
+            "transfer",
+            group,
+            client_id=request.client_id,
+            query_id=request.query_id,
+            object_key=request.object_key,
         )
         request.group_id = group
         request.complete_time = end

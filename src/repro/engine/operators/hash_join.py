@@ -65,11 +65,12 @@ class HashJoin(Operator):
 
 def merge_rows(left: Row, right: Row) -> Row:
     """Merge two row dictionaries, checking for conflicting duplicates."""
-    merged = dict(left)
-    for key, value in right.items():
-        if key in merged and merged[key] != value:
-            raise ExecutionError(
-                f"column {key!r} appears on both join sides with different values"
-            )
-        merged[key] = value
+    merged = {**left, **right}
+    if len(merged) != len(left) + len(right):
+        # Overlapping keys: only legal when both sides agree on the value.
+        for key, value in right.items():
+            if key in left and left[key] != value:
+                raise ExecutionError(
+                    f"column {key!r} appears on both join sides with different values"
+                )
     return merged

@@ -75,12 +75,13 @@ class Arithmetic(Expression):
         self.op = op
         self.left = left
         self.right = right
+        self._apply = _ARITHMETIC_OPS[op]
 
     def evaluate(self, row: Row) -> object:
         left = self.left.evaluate(row)
         right = self.right.evaluate(row)
         try:
-            return _ARITHMETIC_OPS[self.op](left, right)
+            return self._apply(left, right)
         except ZeroDivisionError:
             raise ExecutionError("division by zero in expression") from None
 
@@ -119,13 +120,38 @@ class Comparison(Predicate):
         self.op = op
         self.left = left
         self.right = right
+        self._compare = compare = _COMPARISON_OPS[op]
+        # Column-vs-literal is the overwhelmingly common shape on the segment
+        # filter path; compile it to a single closure so each row costs one
+        # call instead of a tree walk.  Semantics are identical, including
+        # the missing-column error and None-compares-false behaviour.
+        if type(left) is ColumnRef and type(right) is Literal:
+            name = left.name
+            constant = right.value
+            if constant is None:
+
+                def _evaluate(row: Row) -> bool:
+                    return False
+
+            else:
+
+                def _evaluate(row: Row) -> bool:
+                    try:
+                        value = row[name]
+                    except KeyError:
+                        raise ExecutionError(f"row has no column {name!r}") from None
+                    if value is None:
+                        return False
+                    return bool(compare(value, constant))
+
+            self.evaluate = _evaluate  # type: ignore[method-assign]
 
     def evaluate(self, row: Row) -> bool:
         left = self.left.evaluate(row)
         right = self.right.evaluate(row)
         if left is None or right is None:
             return False
-        return bool(_COMPARISON_OPS[self.op](left, right))
+        return bool(self._compare(left, right))
 
     def columns(self) -> FrozenSet[str]:
         return self.left.columns() | self.right.columns()
@@ -142,6 +168,32 @@ class Between(Predicate):
         self.low = low
         self.high = high
         self.inclusive = inclusive
+        if type(expr) is ColumnRef:
+            name = expr.name
+
+            if inclusive:
+
+                def _evaluate(row: Row) -> bool:
+                    try:
+                        value = row[name]
+                    except KeyError:
+                        raise ExecutionError(f"row has no column {name!r}") from None
+                    if value is None:
+                        return False
+                    return bool(low <= value <= high)  # type: ignore[operator]
+
+            else:
+
+                def _evaluate(row: Row) -> bool:
+                    try:
+                        value = row[name]
+                    except KeyError:
+                        raise ExecutionError(f"row has no column {name!r}") from None
+                    if value is None:
+                        return False
+                    return bool(low <= value < high)  # type: ignore[operator]
+
+            self.evaluate = _evaluate  # type: ignore[method-assign]
 
     def evaluate(self, row: Row) -> bool:
         value = self.expr.evaluate(row)
@@ -163,6 +215,18 @@ class InList(Predicate):
         self.values = frozenset(values)
         if not self.values:
             raise QueryError("IN list must not be empty")
+        if type(expr) is ColumnRef:
+            name = expr.name
+            members = self.values
+
+            def _evaluate(row: Row) -> bool:
+                try:
+                    value = row[name]
+                except KeyError:
+                    raise ExecutionError(f"row has no column {name!r}") from None
+                return value in members
+
+            self.evaluate = _evaluate  # type: ignore[method-assign]
 
     def evaluate(self, row: Row) -> bool:
         return self.expr.evaluate(row) in self.values
@@ -178,9 +242,13 @@ class And(Predicate):
         if not predicates:
             raise QueryError("And requires at least one predicate")
         self.predicates: Sequence[Predicate] = tuple(predicates)
+        self._evaluators = tuple(predicate.evaluate for predicate in predicates)
 
     def evaluate(self, row: Row) -> bool:
-        return all(predicate.evaluate(row) for predicate in self.predicates)
+        for evaluate in self._evaluators:
+            if not evaluate(row):
+                return False
+        return True
 
     def columns(self) -> FrozenSet[str]:
         result: FrozenSet[str] = frozenset()
@@ -196,9 +264,13 @@ class Or(Predicate):
         if not predicates:
             raise QueryError("Or requires at least one predicate")
         self.predicates: Sequence[Predicate] = tuple(predicates)
+        self._evaluators = tuple(predicate.evaluate for predicate in predicates)
 
     def evaluate(self, row: Row) -> bool:
-        return any(predicate.evaluate(row) for predicate in self.predicates)
+        for evaluate in self._evaluators:
+            if evaluate(row):
+                return True
+        return False
 
     def columns(self) -> FrozenSet[str]:
         result: FrozenSet[str] = frozenset()

@@ -154,6 +154,7 @@ def plan_migration(
     replication: int = 1,
     hash_minimal: bool = True,
     resident: Optional[Callable[[str, str], bool]] = None,
+    changed_keys: Optional[Sequence[str]] = None,
 ) -> MigrationPlan:
     """Diff two placements into the minimal set of replica copies.
 
@@ -172,10 +173,20 @@ def plan_migration(
     joins/leaves shift sets away from devices) are recorded as
     :class:`KeyTrim` entries: pure placement bookkeeping, no I/O, each
     carrying the size of the key's surviving replica set.
+
+    ``changed_keys``, when provided, must be exactly the keys whose replica
+    set differs between the two placements, in ``old_placement`` iteration
+    order; the diff then skips the (typically vast) unchanged majority.
+    Keys with identical replica sets contribute neither moves nor trims, so
+    the resulting plan is identical to a full scan.
     """
     moves: List[KeyMove] = []
     trims: List[KeyTrim] = []
-    for object_key, old_replicas in old_placement.items():
+    if changed_keys is None:
+        items = old_placement.items()
+    else:
+        items = [(key, old_placement[key]) for key in changed_keys]
+    for object_key, old_replicas in items:
         new_replicas = new_placement[object_key]
         for device in old_replicas:
             if device not in new_replicas:

@@ -121,6 +121,19 @@ class ConsistentHashPlacement(PlacementPolicy):
             raise PlacementError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
         self.virtual_nodes = virtual_nodes
         self._ring_cache: Dict[Tuple[str, ...], Tuple[List[int], List[str]]] = {}
+        #: (roster, R) -> replica tuple per ring arc; see :meth:`_segments`.
+        self._segment_cache: Dict[
+            Tuple[Tuple[str, ...], int], Tuple[List[int], List[Tuple[str, ...]]]
+        ] = {}
+        self._key_hash_cache: Dict[str, int] = {}
+
+    def key_hash(self, object_key: str) -> int:
+        """Memoised :func:`stable_hash` of an object key."""
+        cached = self._key_hash_cache.get(object_key)
+        if cached is None:
+            cached = stable_hash(object_key)
+            self._key_hash_cache[object_key] = cached
+        return cached
 
     def _ring(self, device_ids: Sequence[str]) -> Tuple[List[int], List[str]]:
         cache_key = tuple(device_ids)
@@ -139,17 +152,121 @@ class ConsistentHashPlacement(PlacementPolicy):
         self._ring_cache[cache_key] = (hashes, owners)
         return hashes, owners
 
-    def replicas_for(self, object_key: str, device_ids: Sequence[str]) -> Tuple[str, ...]:
+    def _segments(
+        self, device_ids: Sequence[str], replication: int
+    ) -> Tuple[List[int], List[Tuple[str, ...]]]:
+        """Ring hashes plus the replica tuple owning each ring arc.
+
+        A key hashing into the arc that ends at ring point ``i`` (i.e. with
+        ``bisect_right(hashes, key_hash) % V == i``) is owned by
+        ``replicas_by_arc[i]`` — the first ``replication`` distinct devices
+        on the clockwise walk from ``i``.  Precomputing the walk once per
+        (roster, R) turns per-key placement into a bisect plus a list
+        lookup, and lets epoch diffs compare arcs instead of keys.
+        """
+        cache_key = (tuple(device_ids), replication)
+        cached = self._segment_cache.get(cache_key)
+        if cached is not None:
+            return cached
         hashes, owners = self._ring(device_ids)
-        position = bisect.bisect_right(hashes, stable_hash(object_key))
-        replicas: List[str] = []
-        for step in range(len(hashes)):
-            owner = owners[(position + step) % len(hashes)]
-            if owner not in replicas:
-                replicas.append(owner)
-                if len(replicas) == self.replication:
-                    break
-        return tuple(replicas)
+        ring_size = len(hashes)
+        replicas_by_arc: List[Tuple[str, ...]] = []
+        for position in range(ring_size):
+            replicas: List[str] = []
+            for step in range(ring_size):
+                owner = owners[(position + step) % ring_size]
+                if owner not in replicas:
+                    replicas.append(owner)
+                    if len(replicas) == replication:
+                        break
+            replicas_by_arc.append(tuple(replicas))
+        result = (hashes, replicas_by_arc)
+        self._segment_cache[cache_key] = result
+        return result
+
+    def place(
+        self, object_keys: Sequence[str], device_ids: Sequence[str]
+    ) -> Dict[str, Tuple[str, ...]]:
+        self._validate(object_keys, device_ids)
+        hashes, replicas_by_arc = self._segments(device_ids, self.replication)
+        ring_size = len(hashes)
+        bisect_right = bisect.bisect_right
+        key_hash = self.key_hash
+        return {
+            key: replicas_by_arc[bisect_right(hashes, key_hash(key)) % ring_size]
+            for key in object_keys
+        }
+
+    def replicas_for(self, object_key: str, device_ids: Sequence[str]) -> Tuple[str, ...]:
+        hashes, replicas_by_arc = self._segments(device_ids, self.replication)
+        position = bisect.bisect_right(hashes, self.key_hash(object_key))
+        return replicas_by_arc[position % len(hashes)]
+
+    def diff_keys(
+        self,
+        sorted_key_hashes: Sequence[Tuple[int, str]],
+        old_device_ids: Sequence[str],
+        new_device_ids: Sequence[str],
+        old_replication: int,
+        new_replication: int,
+    ) -> Dict[str, Tuple[str, ...]]:
+        """Keys whose replica tuple differs between two (roster, R) epochs.
+
+        ``sorted_key_hashes`` is the full key population as ``(hash, key)``
+        pairs sorted ascending (computed once per run — key hashes never
+        change).  Both rings are walked with two pointers over the merged
+        arc boundaries; runs of keys falling into arcs with identical old
+        and new replica tuples are skipped in one bisect jump, so the cost
+        is O(changed ranges + ring size) instead of a full re-placement of
+        every key.  Returns ``{key: new_replicas}`` for exactly the keys a
+        full old-vs-new placement diff would report as changed.
+        """
+        if not new_device_ids:
+            raise PlacementError("placement requires at least one device")
+        if len(set(new_device_ids)) != len(new_device_ids):
+            raise PlacementError("device ids must be unique")
+        if new_replication > len(new_device_ids):
+            raise PlacementError(
+                f"replication factor {new_replication} exceeds fleet size "
+                f"{len(new_device_ids)}"
+            )
+        old_hashes, old_arcs = self._segments(old_device_ids, old_replication)
+        new_hashes, new_arcs = self._segments(new_device_ids, new_replication)
+        old_size = len(old_hashes)
+        new_size = len(new_hashes)
+        key_hashes = [pair[0] for pair in sorted_key_hashes]
+        total = len(sorted_key_hashes)
+        changed: Dict[str, Tuple[str, ...]] = {}
+        bisect_left = bisect.bisect_left
+        index = 0
+        old_pos = 0
+        new_pos = 0
+        while index < total:
+            key_hash = key_hashes[index]
+            while old_pos < old_size and old_hashes[old_pos] <= key_hash:
+                old_pos += 1
+            while new_pos < new_size and new_hashes[new_pos] <= key_hash:
+                new_pos += 1
+            old_replicas = old_arcs[old_pos % old_size]
+            new_replicas = new_arcs[new_pos % new_size]
+            # Keys up to the next arc boundary (of either ring) share both
+            # replica tuples; a key hashing exactly onto a boundary belongs
+            # to the *next* arc (bisect_right semantics), so the run ends
+            # strictly before the boundary.
+            boundaries = []
+            if old_pos < old_size:
+                boundaries.append(old_hashes[old_pos])
+            if new_pos < new_size:
+                boundaries.append(new_hashes[new_pos])
+            if boundaries:
+                limit = bisect_left(key_hashes, min(boundaries), index)
+            else:
+                limit = total
+            if old_replicas != new_replicas:
+                for position in range(index, limit):
+                    changed[sorted_key_hashes[position][1]] = new_replicas
+            index = limit
+        return changed
 
     def to_dict(self) -> Dict[str, object]:
         description = super().to_dict()

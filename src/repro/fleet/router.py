@@ -47,7 +47,7 @@ from repro.csd.scheduler import IOScheduler
 from repro.exceptions import FleetError
 from repro.fleet.membership import FleetMembership, MemberRecord
 from repro.fleet.migration import MigrationPlan, plan_migration
-from repro.fleet.placement import build_placement
+from repro.fleet.placement import ConsistentHashPlacement, build_placement
 from repro.fleet.spec import (
     DeviceFailure,
     DeviceJoin,
@@ -83,7 +83,7 @@ class FleetMember:
     def busy_seconds(self) -> float:
         if self.device is None:
             return 0.0
-        return sum(interval.duration for interval in self.device.busy_intervals)
+        return self.device.busy_intervals.total_duration()
 
     def objects_served(self) -> int:
         return self.device.stats.objects_served if self.device else 0
@@ -163,6 +163,20 @@ class FleetRouter:
         self.placement: Dict[str, Tuple[str, ...]] = self._policy.place(
             self._key_order, list(fleet_spec.device_ids)
         )
+        #: Roster the current placement was computed over; paired with
+        #: ``placement_replication`` it identifies the old epoch's ring for
+        #: incremental placement diffs.
+        self._placement_roster: Tuple[str, ...] = tuple(fleet_spec.device_ids)
+        #: Key population as (hash, key) pairs sorted by hash — computed
+        #: once (key hashes never change) so every epoch change can walk
+        #: changed ring arcs instead of re-placing all keys.
+        if isinstance(self._policy, ConsistentHashPlacement):
+            key_hash = self._policy.key_hash
+            self._sorted_key_hashes: List[Tuple[int, str]] = sorted(
+                (key_hash(key), key) for key in self._key_order
+            )
+        else:
+            self._sorted_key_hashes = []
         #: Per-epoch replication health: under-replicated key counts sampled
         #: when each epoch opened (before its plan ran) and after.
         self.replication_log: List[Dict[str, object]] = []
@@ -430,10 +444,27 @@ class FleetRouter:
         # The effective factor adapts to the roster: a repair pass after a
         # loss can only restore min(R, serving) replicas per key.
         replication = self.effective_replication
+        old_replication = self.placement_replication
         self._policy.replication = replication
-        new_placement = self._policy.place(
-            self._key_order, list(self.membership.serving_ids())
-        )
+        serving = list(self.membership.serving_ids())
+        changed_keys: Optional[List[str]] = None
+        if isinstance(self._policy, ConsistentHashPlacement):
+            # Only the keys in ring arcs whose replica tuple changed need
+            # re-placing; everything else keeps its entry from the old epoch.
+            changed = self._policy.diff_keys(
+                self._sorted_key_hashes,
+                self._placement_roster,
+                serving,
+                old_replication,
+                replication,
+            )
+            new_placement = dict(old_placement)
+            new_placement.update(changed)
+            # The plan must see changed keys in canonical key order (what a
+            # full placement scan iterates), not hash order.
+            changed_keys = sorted(changed, key=self._key_rank.__getitem__)
+        else:
+            new_placement = self._policy.place(self._key_order, serving)
         alive = {member.device_id: member.alive for member in self.members}
         plan = plan_migration(
             epoch=epoch_record.epoch,
@@ -451,9 +482,11 @@ class FleetRouter:
             # earlier epoch still physically has it: re-adopting such a
             # replica costs no migration I/O.
             resident=self._holds_object,
+            changed_keys=changed_keys,
         )
         self.placement = new_placement
         self.placement_replication = replication
+        self._placement_roster = tuple(serving)
         self._execute_plan(plan, reason=reason)
         self.migration_plans.append(plan)
         self._record_replication_health(kind, at_open=under_replicated_before)
@@ -595,10 +628,7 @@ class FleetRouter:
         """Busy seconds of ``member`` inside the window ``[start, end]``."""
         if member.device is None:
             return 0.0
-        return sum(
-            max(0.0, min(interval.end, end) - max(interval.start, start))
-            for interval in member.device.busy_intervals
-        )
+        return member.device.busy_intervals.window_overlap(start, end)
 
     def per_epoch_imbalance(self, total_simulated_time: float) -> List[Dict[str, object]]:
         """Imbalance coefficient of each epoch's membership window.

@@ -91,13 +91,22 @@ def write_budgets(
 
     ``wall_times`` (scenario -> measured real seconds) additionally writes a
     ``wall_time_budget`` per entry, padded by :data:`WALL_TIME_HEADROOM`.
+    Every wall-time name must also appear in ``simulated_times``: a
+    wall-time-only entry would be missing its mandatory ``simulated_time``
+    and poison the file for ``check_budget``.
     """
+    orphans = sorted(set(wall_times or {}) - set(simulated_times))
+    if orphans:
+        raise BudgetExceededError(
+            f"wall_times contains scenarios without a simulated time: {orphans}; "
+            "every budget entry needs a simulated_time to be checkable"
+        )
     budgets: Dict[str, Dict[str, float]] = {
         name: {"simulated_time": round(seconds, 9)}
         for name, seconds in sorted(simulated_times.items())
     }
     for name, wall in sorted((wall_times or {}).items()):
-        budgets.setdefault(name, {})["wall_time_budget"] = round(
+        budgets[name]["wall_time_budget"] = round(
             max(WALL_TIME_FLOOR_SECONDS, wall * WALL_TIME_HEADROOM), 2
         )
     document = {
@@ -121,12 +130,18 @@ def check_budget(
             f"scenario {name!r} has no committed perf budget; run "
             f"'python -m repro.scenarios --regen-budgets' and commit the diff"
         )
+    if not isinstance(entry, Mapping) or "simulated_time" not in entry:
+        raise BudgetExceededError(
+            f"budget entry for scenario {name!r} is missing its "
+            "'simulated_time' key; re-base with "
+            "'python -m repro.scenarios --regen-budgets'"
+        )
     try:
         budget = float(entry["simulated_time"])
         tolerance = float(
             entry.get("tolerance", document.get("default_tolerance", DEFAULT_TOLERANCE))
         )
-    except (KeyError, TypeError, ValueError) as error:
+    except (TypeError, ValueError) as error:
         raise BudgetExceededError(
             f"budget entry for scenario {name!r} is malformed ({error!r}); "
             "re-base with 'python -m repro.scenarios --regen-budgets'"

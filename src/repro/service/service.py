@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Union
 
 from repro.cluster.client import ClientSpec
 from repro.cluster.cluster import ClusterConfig, ClusterResult
-from repro.cluster.metrics import ExecutionBreakdown, attribute_waiting
+from repro.cluster.metrics import ExecutionBreakdown, attribute_waiting, busy_span_index
 from repro.csd.device import ColdStorageDevice
 from repro.csd.object_store import ObjectStore
 from repro.csd.request import GetRequest
@@ -272,6 +272,9 @@ class StorageService:
             self.fleet.raise_admin_failure()
 
         busy_intervals = self.busy_intervals()
+        # The busy-span unions depend only on the backend's interval log, so
+        # build them once instead of per query result.
+        span_index = busy_span_index(busy_intervals)
         # A tenant may have held several sessions over the service's lifetime
         # (close, then reopen); its measurements are concatenated in session
         # order.
@@ -284,6 +287,7 @@ class StorageService:
                     result.blocked_intervals,
                     busy_intervals,
                     processing_time=result.processing_time,
+                    span_index=span_index,
                 )
                 for result in session.results
             )

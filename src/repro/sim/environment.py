@@ -1,9 +1,19 @@
-"""The simulation environment: clock plus event queue."""
+"""The simulation environment: clock plus event queue.
+
+The queue is *batched by timestamp*: instead of one heap entry per event,
+the heap holds each distinct pending timestamp once and a side table maps
+the timestamp to the list of events scheduled at it (in scheduling order).
+Dispatch order is exactly the classic ``(time, sequence)`` order — the
+batch list *is* the sequence order within a timestamp — but same-time
+bursts (the common case in a discrete-event storage simulation: a device
+completing a transfer wakes the waiter, the scheduler, and the metrics
+hooks at one instant) cost one heap operation instead of one per event.
+"""
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.exceptions import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
@@ -28,8 +38,18 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, Event]] = []
-        self._sequence = 0
+        # Heap of distinct pending timestamps; one entry per bucket.
+        self._times: List[float] = []
+        # Timestamp -> events scheduled at it, in scheduling order.
+        self._buckets: Dict[float, List[Event]] = {}
+        # Bucket currently being dispatched.  Once a bucket is activated it
+        # is removed from ``_buckets``, so events scheduled *during* its
+        # dispatch (at the same timestamp) open a fresh bucket that is
+        # dispatched right after it — preserving global scheduling order.
+        self._batch: Optional[List[Event]] = None
+        self._batch_index = 0
+        #: Number of events delivered (dispatched) so far.
+        self.dispatched = 0
 
     @property
     def now(self) -> float:
@@ -66,24 +86,44 @@ class Environment:
         """Enqueue ``event`` for dispatch ``delay`` units in the future."""
         if delay < 0:
             raise SimulationError("cannot schedule an event in the past")
-        self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        time = self._now + delay
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(event)
 
     def step(self) -> None:
         """Dispatch the next scheduled event, advancing the clock."""
-        if not self._queue:
+        batch = self._batch
+        if batch is not None and self._batch_index < len(batch):
+            event = batch[self._batch_index]
+            self._batch_index += 1
+            self.dispatched += 1
+            event._dispatch()
+            return
+        if not self._times:
+            self._batch = None
             raise SimulationError("no scheduled events to step through")
-        time, _seq, event = heapq.heappop(self._queue)
+        time = heapq.heappop(self._times)
         if time < self._now:  # pragma: no cover - defensive, cannot happen
             raise SimulationError("event queue went backwards in time")
         self._now = time
-        event._dispatch()
+        batch = self._buckets.pop(time)
+        self._batch = batch
+        self._batch_index = 1
+        self.dispatched += 1
+        batch[0]._dispatch()
 
     def peek(self) -> Optional[float]:
         """Timestamp of the next scheduled event, or ``None`` if idle."""
-        if not self._queue:
+        batch = self._batch
+        if batch is not None and self._batch_index < len(batch):
+            return self._now
+        if not self._times:
             return None
-        return self._queue[0][0]
+        return self._times[0]
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
@@ -92,12 +132,19 @@ class Environment:
 
         * ``None`` — run until no events remain,
         * a number — run until the clock reaches that time,
-        * an :class:`Event` — run until that event fires and return its value.
+        * an :class:`Event` — run until that event is *dispatched* and
+          return its value (or raise the exception it failed with).
+
+        Waiting for dispatch rather than for ``triggered`` matters: a
+        :class:`Timeout` is triggered the moment it is created (its value
+        is already known) but only dispatches when the clock reaches it, so
+        ``env.run(until=env.timeout(5))`` must advance the clock to 5.0,
+        not return immediately at the current time.
         """
         if isinstance(until, Event):
             target_event = until
-            while not target_event.triggered:
-                if not self._queue:
+            while not target_event._dispatched:
+                if self.peek() is None:
                     raise SimulationError(
                         f"simulation ran out of events before {target_event.name!r} fired"
                     )
@@ -110,11 +157,14 @@ class Environment:
             deadline = float(until)
             if deadline < self._now:
                 raise SimulationError("cannot run until a time in the past")
-            while self._queue and self._queue[0][0] <= deadline:
+            while True:
+                next_time = self.peek()
+                if next_time is None or next_time > deadline:
+                    break
                 self.step()
             self._now = deadline
             return None
 
-        while self._queue:
+        while self.peek() is not None:
             self.step()
         return None

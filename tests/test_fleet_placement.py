@@ -187,6 +187,62 @@ class TestRelocationProperty:
         assert moved >= len(keys) * 0.5
 
 
+class TestDiffKeysEquivalence:
+    """The O(changed-ranges) epoch diff must agree exactly with a full
+    old-vs-new re-placement — the router trusts it to find every key whose
+    replica tuple changed, and only those."""
+
+    @settings(max_examples=60, derandomize=True)
+    @given(
+        keys=keys_strategy,
+        old_devices=devices_strategy,
+        new_devices=devices_strategy,
+        old_replication=replication_strategy,
+        new_replication=replication_strategy,
+    )
+    def test_diff_matches_full_replacement(
+        self, keys, old_devices, new_devices, old_replication, new_replication
+    ):
+        old_replication = min(old_replication, old_devices)
+        new_replication = min(new_replication, new_devices)
+        policy = ConsistentHashPlacement(old_replication)
+        before = policy.place(keys, device_ids(old_devices))
+        policy.replication = new_replication
+        after = policy.place(keys, device_ids(new_devices))
+        expected = {key: after[key] for key in keys if after[key] != before[key]}
+        sorted_key_hashes = sorted((policy.key_hash(key), key) for key in keys)
+        changed = policy.diff_keys(
+            sorted_key_hashes,
+            device_ids(old_devices),
+            device_ids(new_devices),
+            old_replication,
+            new_replication,
+        )
+        assert changed == expected
+
+    def test_leave_diff_matches_full_replacement(self):
+        keys = [f"tenant0/obj.{index}" for index in range(200)]
+        policy = ConsistentHashPlacement(2)
+        roster = device_ids(5)
+        remaining = [d for d in roster if d != "csd2"]
+        before = policy.place(keys, roster)
+        after = policy.place(keys, remaining)
+        sorted_key_hashes = sorted((policy.key_hash(key), key) for key in keys)
+        changed = policy.diff_keys(sorted_key_hashes, roster, remaining, 2, 2)
+        assert changed == {key: after[key] for key in keys if after[key] != before[key]}
+        assert 0 < len(changed) < len(keys)
+
+    def test_diff_validates_new_roster(self):
+        policy = ConsistentHashPlacement(1)
+        pairs = sorted((policy.key_hash(key), key) for key in ["a", "b"])
+        with pytest.raises(PlacementError):
+            policy.diff_keys(pairs, device_ids(2), [], 1, 1)
+        with pytest.raises(PlacementError):
+            policy.diff_keys(pairs, device_ids(2), ["csd0", "csd0"], 1, 1)
+        with pytest.raises(PlacementError):
+            policy.diff_keys(pairs, device_ids(2), device_ids(2), 1, 3)
+
+
 class TestValidation:
     def test_unknown_policy_rejected(self):
         with pytest.raises(PlacementError):

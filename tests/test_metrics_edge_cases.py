@@ -16,6 +16,7 @@ from repro.cluster.cluster import ClusterConfig, ClusterResult
 from repro.cluster.metrics import (
     ExecutionBreakdown,
     attribute_waiting,
+    imbalance_coefficient,
     jain_fairness,
     max_stretch,
     mean,
@@ -175,6 +176,23 @@ class TestPercentile:
             percentile([1.0], 1.5)
         with pytest.raises(ConfigurationError):
             percentile([1.0], -0.1)
+
+
+class TestImbalanceCoefficient:
+    def test_even_load_is_zero(self):
+        assert imbalance_coefficient([4.0, 4.0, 4.0]) == 0.0
+
+    def test_empty_and_all_zero_are_balanced_by_convention(self):
+        assert imbalance_coefficient([]) == 0.0
+        assert imbalance_coefficient([0.0, 0.0]) == 0.0
+
+    def test_negative_values_rejected(self):
+        # A negative load is broken accounting; it must not cancel against
+        # positive loads into a zero mean and report as "perfectly balanced".
+        with pytest.raises(ConfigurationError):
+            imbalance_coefficient([1.0, -1.0])
+        with pytest.raises(ConfigurationError):
+            imbalance_coefficient([-3.0, -3.0])
 
 
 class TestJainFairness:

@@ -105,11 +105,24 @@ class TestBudgets:
     def test_malformed_budget_entry_fails_as_budget_error(self):
         # A budget entry missing simulated_time must not escape as KeyError:
         # --check relies on every budget failure being a ReproError so the
-        # remaining scenarios keep being checked.
-        with pytest.raises(BudgetExceededError, match="malformed"):
+        # remaining scenarios keep being checked.  The error names the
+        # missing key instead of reporting a generic "malformed" entry.
+        with pytest.raises(BudgetExceededError, match="missing its 'simulated_time'"):
             check_budget("x", 1.0, {"budgets": {"x": {}}})
+        with pytest.raises(BudgetExceededError, match="missing its 'simulated_time'"):
+            check_budget("x", 1.0, {"budgets": {"x": {"wall_time_budget": 5.0}}})
         with pytest.raises(BudgetExceededError, match="malformed"):
             check_budget("x", 1.0, {"budgets": {"x": {"simulated_time": "fast"}}})
+
+    def test_wall_time_only_entries_are_rejected_at_write_time(self, tmp_path):
+        # A wall time for a scenario absent from simulated_times would write
+        # an entry with no simulated_time, which check_budget must reject;
+        # refuse to write the poisoned file in the first place.
+        with pytest.raises(BudgetExceededError, match="ghost"):
+            write_budgets(
+                {"a": 100.0}, golden_dir=tmp_path, wall_times={"a": 1.0, "ghost": 1.0}
+            )
+        assert not budgets_path(tmp_path).exists()
 
 
 class TestWallTimeBudgets:

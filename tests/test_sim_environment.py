@@ -40,6 +40,84 @@ def test_run_until_event_returns_its_value():
     assert env.now == pytest.approx(2.0)
 
 
+class TestRunUntilWaitsForDispatch:
+    """``run(until=event)`` must wait for *dispatch*, not ``triggered``.
+
+    A ``Timeout`` is triggered the moment it is created (its value is
+    already known) but only dispatches when the clock reaches it.  The old
+    loop tested ``triggered`` and therefore returned immediately at t=0
+    for ``env.run(until=env.timeout(5))``.
+    """
+
+    def test_run_until_timeout_advances_the_clock(self):
+        env = Environment()
+        env.run(until=env.timeout(5.0))
+        assert env.now == pytest.approx(5.0)
+
+    def test_run_until_timeout_returns_its_value(self):
+        env = Environment()
+        assert env.run(until=env.timeout(2.5, value="payload")) == "payload"
+        assert env.now == pytest.approx(2.5)
+
+    def test_run_until_timeout_dispatches_earlier_events_first(self):
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            yield env.timeout(3.0)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=env.timeout(5.0))
+        assert fired == [3.0]
+
+    def test_run_until_pre_succeeded_event_dispatches_at_current_time(self):
+        env = Environment(initial_time=4.0)
+        event = env.event("ready")
+        event.succeed("value")
+        assert env.run(until=event) == "value"
+        assert env.now == 4.0
+
+    def test_run_until_failing_event_raises_at_the_right_time(self):
+        env = Environment()
+
+        def exploder(env):
+            yield env.timeout(7.0)
+            raise RuntimeError("boom")
+
+        process = env.process(exploder(env))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run(until=process)
+        assert env.now == pytest.approx(7.0)
+
+    def test_run_until_already_dispatched_event_returns_immediately(self):
+        env = Environment()
+        timeout = env.timeout(1.0, value="done")
+        env.run()
+        assert env.now == pytest.approx(1.0)
+        assert env.run(until=timeout) == "done"
+        assert env.now == pytest.approx(1.0)
+
+    def test_run_until_composite_of_timeouts_waits_for_the_last(self):
+        env = Environment()
+        composite = env.all_of([env.timeout(2.0, value="a"), env.timeout(6.0, value="b")])
+        assert env.run(until=composite) == ["a", "b"]
+        assert env.now == pytest.approx(6.0)
+
+
+def test_dispatched_counter_counts_deliveries():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    # bootstrap + two timeouts + the process completion event itself
+    assert env.dispatched == 4
+
+
 def test_run_until_past_time_raises():
     env = Environment(initial_time=5.0)
     with pytest.raises(SimulationError):
