@@ -36,6 +36,7 @@ import platform
 import resource
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -190,13 +191,17 @@ def _event_count(env: Any) -> int:
     return int(getattr(env, "_sequence", 0))
 
 
-def run_one(spec: ScenarioSpec) -> Dict[str, Any]:
+def run_one(spec: ScenarioSpec, trace: bool = False) -> Dict[str, Any]:
     """Run one macro scenario and measure its phases.
 
     Events/second is computed over the run phase only: building catalogs
     and condensing the report are real costs (and reported), but the
-    events/sec figure is meant to track the simulation core.
+    events/sec figure is meant to track the simulation core.  With
+    ``trace`` the run also records a full trace (the entry reports the span
+    count), which doubles as a measurement of tracing overhead at scale.
     """
+    if trace and not spec.trace:
+        spec = replace(spec, trace=True)
     runner = ScenarioRunner(check=False)
     build_start = time.perf_counter()
     service = runner.build_service(spec)
@@ -210,7 +215,7 @@ def run_one(spec: ScenarioSpec) -> Dict[str, Any]:
     end = time.perf_counter()
     events = _event_count(service.env)
     run_seconds = report_start - run_start
-    return {
+    entry = {
         "description": spec.description,
         "build_seconds": round(run_start - build_start, 4),
         "run_seconds": round(run_seconds, 4),
@@ -224,19 +229,25 @@ def run_one(spec: ScenarioSpec) -> Dict[str, Any]:
         ),
         "peak_rss_kb_after": peak_rss_kb(),
     }
+    if trace:
+        from repro.obs.export import build_trace
+
+        entry["trace_spans"] = len(build_trace(service, scenario=spec.name)["spans"])
+    return entry
 
 
-def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
+def run_benchmarks(smoke: bool = False, trace: bool = False) -> Dict[str, Any]:
     """Run the macro suite and assemble the ``BENCH_6.json`` document."""
     scenarios: Dict[str, Dict[str, Any]] = {}
     for spec in macro_specs(smoke):
-        scenarios[spec.name] = run_one(spec)
+        scenarios[spec.name] = run_one(spec, trace=trace)
     total_run = sum(entry["run_seconds"] for entry in scenarios.values())
     total_events = sum(entry["events_dispatched"] for entry in scenarios.values())
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": "BENCH_6",
         "mode": "smoke" if smoke else "full",
+        "traced": bool(trace),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "scenarios": scenarios,

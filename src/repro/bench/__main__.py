@@ -49,12 +49,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="a prior BENCH document to embed as the comparison baseline",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="run every macro scenario with tracing on (entries report "
+        "their span counts; measures tracing overhead at scale)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     arguments = build_parser().parse_args(argv)
-    document = run_benchmarks(smoke=arguments.smoke)
+    document = run_benchmarks(smoke=arguments.smoke, trace=arguments.trace)
     if arguments.baseline is not None:
         baseline = json.loads(arguments.baseline.read_text())
         attach_baseline(document, baseline)

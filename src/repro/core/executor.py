@@ -21,6 +21,7 @@ from repro.engine.cost import CostModel
 from repro.engine.operators.base import OperatorStats, Row
 from repro.engine.query import Query
 from repro.exceptions import CacheError
+from repro.obs import NULL_TRACER
 from repro.sim import Environment
 
 
@@ -88,6 +89,9 @@ class SkipperExecutor:
         self.cost_model = cost_model or CostModel()
         self.enable_pruning = enable_pruning
         self.proxy = proxy or ClientProxy(env, device, client_id)
+        #: Installed by the session when the service traces (NULL otherwise).
+        self.tracer = NULL_TRACER
+        self.trace_parent = None
 
     def execute(self, query: Query):
         """Simulation-process generator executing ``query`` to completion.
@@ -111,6 +115,20 @@ class SkipperExecutor:
         handled_after_last_cycle = 0
         stalled_cycles = 0
 
+        tracer = self.tracer
+        traced = tracer.enabled
+        exec_span = None
+        if traced:
+            exec_span = tracer.start_span(
+                "execute",
+                kind="executor",
+                track=self.client_id,
+                parent=self.trace_parent,
+                query_id=query_id,
+                mode="skipper",
+            )
+            tracer.bind_query(query_id, exec_span)
+
         requests = state.initial_requests()
         while requests:
             self.proxy.request_objects(requests, query_id)
@@ -118,18 +136,50 @@ class SkipperExecutor:
             overhead = self.cost_model.request_overhead(len(requests))
             if overhead > 0:
                 processing_time += overhead
+                overhead_start = self.env.now
                 yield self.env.timeout(overhead)
+                if traced:
+                    tracer.record_span(
+                        "request-overhead",
+                        kind="compute",
+                        track=self.client_id,
+                        start=overhead_start,
+                        end=self.env.now,
+                        parent=exec_span,
+                        requests=len(requests),
+                    )
 
             for _ in range(len(requests)):
                 wait_start = self.env.now
                 segment_id, payload = yield self.proxy.receive()
                 if self.env.now > wait_start:
                     blocked.append((wait_start, self.env.now))
+                    if traced:
+                        tracer.record_span(
+                            "wait",
+                            kind="wait",
+                            track=self.client_id,
+                            start=wait_start,
+                            end=self.env.now,
+                            parent=exec_span,
+                            object_key=segment_id,
+                        )
                 outcome = state.on_arrival(segment_id, payload)
                 cpu_seconds = self._cpu_time(outcome.stats)
                 if cpu_seconds > 0:
                     processing_time += cpu_seconds
+                    cpu_start = self.env.now
                     yield self.env.timeout(cpu_seconds)
+                    if traced:
+                        tracer.record_span(
+                            "compute",
+                            kind="compute",
+                            track=self.client_id,
+                            start=cpu_start,
+                            end=self.env.now,
+                            parent=exec_span,
+                            object_key=segment_id,
+                        )
 
             handled = state.tracker.num_executed + state.tracker.num_pruned
             if handled == handled_after_last_cycle:
@@ -148,6 +198,24 @@ class SkipperExecutor:
             requests = state.next_cycle_requests()
 
         end_time = self.env.now
+        if traced:
+            tracer.record_span(
+                "operators",
+                kind="operator",
+                track=self.client_id,
+                start=end_time,
+                end=end_time,
+                parent=exec_span,
+                tuples_scanned=state.stats.tuples_scanned,
+                tuples_built=state.stats.tuples_built,
+                tuples_probed=state.stats.tuples_probed,
+                tuples_output=state.stats.tuples_output,
+                subplans_executed=state.tracker.num_executed,
+                subplans_pruned=state.tracker.num_pruned,
+            )
+            exec_span.attrs["num_requests"] = num_requests
+            exec_span.attrs["num_cycles"] = state.cycles_completed
+            tracer.end_span(exec_span, end_time)
         return SkipperQueryResult(
             query_name=query.name,
             client_id=self.client_id,

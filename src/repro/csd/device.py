@@ -16,7 +16,7 @@ Table 3 of the paper.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from collections import deque
@@ -26,6 +26,7 @@ from repro.csd.object_store import ObjectStore, split_object_key
 from repro.csd.request import GetRequest, MigrationJob
 from repro.csd.scheduler import IOScheduler
 from repro.exceptions import ConfigurationError, StorageError
+from repro.obs import NULL_TRACER, MetricsRegistry
 from repro.sim import Environment, Store
 
 
@@ -214,26 +215,140 @@ class IntervalLog:
         return total
 
 
-@dataclass
 class DeviceStats:
-    """Aggregate counters maintained by the device."""
+    """Aggregate device counters, registered as ``device.<name>.*`` metrics.
 
-    objects_served: int = 0
-    group_switches: int = 0
-    requests_received: int = 0
-    objects_per_client: Dict[str, int] = field(default_factory=dict)
-    #: Rebalancing I/O performed by this device (reads + writes of migrating
-    #: objects), and the share of it done while foreground work was waiting.
-    migration_jobs: int = 0
-    migration_seconds: float = 0.0
-    migration_interference_seconds: float = 0.0
-    #: Times a queued migration job was set aside for foreground queries
-    #: because the throttle's token bucket was empty.
-    migration_deferrals: int = 0
+    Each counter is a :class:`~repro.obs.metrics.Counter` in the (shared or
+    private) :class:`~repro.obs.metrics.MetricsRegistry`, so the same values
+    the device maintains on its hot path are what registry snapshots export.
+    The legacy attribute names remain as read/write properties: reads return
+    the counter value, writes set it (used when aggregating fleet-wide stats
+    and by tests that perturb counters deliberately).
+    """
 
+    __slots__ = (
+        "metrics",
+        "objects_per_client",
+        "_objects_served",
+        "_group_switches",
+        "_requests_received",
+        "_migration_jobs",
+        "_migration_seconds",
+        "_migration_interference_seconds",
+        "_migration_deferrals",
+    )
+
+    def __init__(
+        self, name: str = "csd0", metrics: Optional[MetricsRegistry] = None
+    ) -> None:
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = registry
+        prefix = f"device.{name}"
+        self._objects_served = registry.counter(f"{prefix}.objects_served")
+        self._group_switches = registry.counter(f"{prefix}.group_switches")
+        self._requests_received = registry.counter(f"{prefix}.requests_received")
+        #: Rebalancing I/O performed by this device (reads + writes of
+        #: migrating objects), and the share done while foreground waited.
+        self._migration_jobs = registry.counter(f"{prefix}.migration_jobs")
+        self._migration_seconds = registry.counter(f"{prefix}.migration_seconds", 0.0)
+        self._migration_interference_seconds = registry.counter(
+            f"{prefix}.migration_interference_seconds", 0.0
+        )
+        #: Times a queued migration job was set aside for foreground queries
+        #: because the throttle's token bucket was empty.
+        self._migration_deferrals = registry.counter(f"{prefix}.migration_deferrals")
+        self.objects_per_client: Dict[str, int] = {}
+
+    # -- legacy attribute views over the registry counters ------------- #
+    @property
+    def objects_served(self) -> int:
+        return self._objects_served.value
+
+    @objects_served.setter
+    def objects_served(self, value: int) -> None:
+        self._objects_served.value = value
+
+    @property
+    def group_switches(self) -> int:
+        return self._group_switches.value
+
+    @group_switches.setter
+    def group_switches(self, value: int) -> None:
+        self._group_switches.value = value
+
+    @property
+    def requests_received(self) -> int:
+        return self._requests_received.value
+
+    @requests_received.setter
+    def requests_received(self, value: int) -> None:
+        self._requests_received.value = value
+
+    @property
+    def migration_jobs(self) -> int:
+        return self._migration_jobs.value
+
+    @migration_jobs.setter
+    def migration_jobs(self, value: int) -> None:
+        self._migration_jobs.value = value
+
+    @property
+    def migration_seconds(self) -> float:
+        return self._migration_seconds.value
+
+    @migration_seconds.setter
+    def migration_seconds(self, value: float) -> None:
+        self._migration_seconds.value = value
+
+    @property
+    def migration_interference_seconds(self) -> float:
+        return self._migration_interference_seconds.value
+
+    @migration_interference_seconds.setter
+    def migration_interference_seconds(self, value: float) -> None:
+        self._migration_interference_seconds.value = value
+
+    @property
+    def migration_deferrals(self) -> int:
+        return self._migration_deferrals.value
+
+    @migration_deferrals.setter
+    def migration_deferrals(self, value: int) -> None:
+        self._migration_deferrals.value = value
+
+    # -- hot-path recording -------------------------------------------- #
     def record_served(self, client_id: str) -> None:
-        self.objects_served += 1
+        self._objects_served.inc()
         self.objects_per_client[client_id] = self.objects_per_client.get(client_id, 0) + 1
+
+    def record_request(self) -> None:
+        self._requests_received.inc()
+
+    def record_switch(self) -> None:
+        self._group_switches.inc()
+
+    def record_migration(self, seconds: float, interfered: bool) -> None:
+        self._migration_jobs.inc()
+        self._migration_seconds.inc(seconds)
+        if interfered:
+            self._migration_interference_seconds.inc(seconds)
+
+    def record_deferral(self) -> None:
+        self._migration_deferrals.inc()
+
+    def absorb(self, other: "DeviceStats") -> None:
+        """Add another device's counters into this aggregate."""
+        self._objects_served.inc(other.objects_served)
+        self._group_switches.inc(other.group_switches)
+        self._requests_received.inc(other.requests_received)
+        self._migration_jobs.inc(other.migration_jobs)
+        self._migration_seconds.inc(other.migration_seconds)
+        self._migration_interference_seconds.inc(other.migration_interference_seconds)
+        self._migration_deferrals.inc(other.migration_deferrals)
+        for client_id, count in other.objects_per_client.items():
+            self.objects_per_client[client_id] = (
+                self.objects_per_client.get(client_id, 0) + count
+            )
 
 
 class ColdStorageDevice:
@@ -247,12 +362,19 @@ class ColdStorageDevice:
         scheduler: IOScheduler,
         config: Optional[DeviceConfig] = None,
         migration_throttle: Optional[MigrationTokenBucket] = None,
+        name: str = "csd0",
+        metrics: Optional["MetricsRegistry"] = None,
+        tracer=None,
     ) -> None:
         self.env = env
         self.object_store = object_store
         self.layout = layout
         self.scheduler = scheduler
         self.config = config or DeviceConfig()
+        #: Identity used for metric names and trace tracks.
+        self.name = name
+        #: Tracer for inbox-entry events; :data:`~repro.obs.NULL_TRACER` off.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Token bucket pacing migration I/O; ``None`` = strict priority.
         self.migration_throttle = migration_throttle
         self.inbox: Store = Store(env, name="csd-inbox")
@@ -261,7 +383,7 @@ class ColdStorageDevice:
         self._admin_jobs = deque()
         self.current_group: Optional[int] = None
         self.busy_intervals: IntervalLog = IntervalLog()
-        self.stats = DeviceStats()
+        self.stats = DeviceStats(name=name, metrics=metrics)
         self._client_busy_until: Dict[str, float] = {}
         self._inflight = 0
         self._drained_event = None
@@ -277,6 +399,8 @@ class ColdStorageDevice:
         if not self.layout.has_object(request.object_key):
             raise StorageError(f"object {request.object_key!r} is not placed on any disk group")
         request.issue_time = self.env.now
+        if self.tracer.enabled:
+            self.tracer.io_submit(request.query_id, request.object_key, self.name)
         self.inbox.put(request)
         return request
 
@@ -350,7 +474,7 @@ class ColdStorageDevice:
             return
         group = self.layout.group_of(item.object_key)
         self.scheduler.add_request(item, group)
-        self.stats.requests_received += 1
+        self.stats.record_request()
 
     def _drain_inbox(self) -> None:
         while True:
@@ -388,7 +512,7 @@ class ColdStorageDevice:
                 # No tokens and queries are waiting: defer the migration I/O
                 # and serve foreground work first — the interleaving a
                 # strict-priority rebalance denies.
-                self.stats.migration_deferrals += 1
+                self.stats.record_deferral()
             if not self.scheduler.has_pending():
                 request = yield self.inbox.get()
                 self._register(request)
@@ -454,10 +578,7 @@ class ColdStorageDevice:
             query_id=f"{job.reason}:{job.direction}:epoch{job.epoch}",
             object_key=job.object_key,
         )
-        self.stats.migration_jobs += 1
-        self.stats.migration_seconds += end - start
-        if interfered:
-            self.stats.migration_interference_seconds += end - start
+        self.stats.record_migration(end - start, interfered)
         if job.notify is not None:
             job.notify(job, start, end, interfered)
 
@@ -467,7 +588,7 @@ class ColdStorageDevice:
             yield self.env.timeout(self.config.group_switch_seconds)
         self.busy_intervals.record(start, self.env.now, "switch", group)
         self.current_group = group
-        self.stats.group_switches += 1
+        self.stats.record_switch()
         self.scheduler.notify_switch(group)
 
     def _serve(self, request: GetRequest, group: int):

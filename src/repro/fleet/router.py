@@ -30,7 +30,7 @@ Responsibilities:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.csd.device import (
@@ -47,6 +47,7 @@ from repro.csd.scheduler import IOScheduler
 from repro.exceptions import FleetError
 from repro.fleet.membership import FleetMembership, MemberRecord
 from repro.fleet.migration import MigrationPlan, plan_migration
+from repro.obs import NULL_TRACER, MetricsRegistry
 from repro.fleet.placement import ConsistentHashPlacement, build_placement
 from repro.fleet.spec import (
     DeviceFailure,
@@ -92,19 +93,70 @@ class FleetMember:
         return self.device.scheduler.pending_count() if self.device else 0
 
 
-@dataclass
 class FleetRouterStats:
-    """Fleet-wide counters maintained by the router."""
+    """Fleet-wide counters, registered as ``router.*`` metrics.
 
-    requests_routed: int = 0
-    failed_over: int = 0
-    #: Requests handed off from a gracefully leaving device's queue.
-    handed_off: int = 0
-    #: Migration jobs withdrawn from a fail-stopped device's queue (a dead
-    #: device performs no further I/O, so its pending rebalance work is
-    #: dropped uncharged).
-    dropped_migration_jobs: int = 0
-    per_tenant_device_served: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    The attribute names remain read/write properties over the registry
+    counters, so report code and tests keep their existing shape while the
+    values live in the (shared or private)
+    :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    __slots__ = (
+        "metrics",
+        "per_tenant_device_served",
+        "_requests_routed",
+        "_failed_over",
+        "_handed_off",
+        "_dropped_migration_jobs",
+    )
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = registry
+        self._requests_routed = registry.counter("router.requests_routed")
+        self._failed_over = registry.counter("router.failed_over_requests")
+        #: Requests handed off from a gracefully leaving device's queue.
+        self._handed_off = registry.counter("router.handed_off_requests")
+        #: Migration jobs withdrawn from a fail-stopped device's queue (a
+        #: dead device performs no further I/O, so its pending rebalance
+        #: work is dropped uncharged).
+        self._dropped_migration_jobs = registry.counter(
+            "router.dropped_migration_jobs"
+        )
+        self.per_tenant_device_served: Dict[str, Dict[str, int]] = {}
+
+    @property
+    def requests_routed(self) -> int:
+        return self._requests_routed.value
+
+    @requests_routed.setter
+    def requests_routed(self, value: int) -> None:
+        self._requests_routed.value = value
+
+    @property
+    def failed_over(self) -> int:
+        return self._failed_over.value
+
+    @failed_over.setter
+    def failed_over(self, value: int) -> None:
+        self._failed_over.value = value
+
+    @property
+    def handed_off(self) -> int:
+        return self._handed_off.value
+
+    @handed_off.setter
+    def handed_off(self, value: int) -> None:
+        self._handed_off.value = value
+
+    @property
+    def dropped_migration_jobs(self) -> int:
+        return self._dropped_migration_jobs.value
+
+    @dropped_migration_jobs.setter
+    def dropped_migration_jobs(self, value: int) -> None:
+        self._dropped_migration_jobs.value = value
 
     def record_served(self, tenant: str, device_id: str) -> None:
         per_device = self.per_tenant_device_served.setdefault(tenant, {})
@@ -123,11 +175,16 @@ class FleetRouter:
         layout_policy: LayoutPolicy,
         scheduler_factory: SchedulerFactory,
         device_config: Optional[DeviceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         self.env = env
         self.object_store = object_store
         self.spec = fleet_spec
-        self.stats = FleetRouterStats()
+        #: Registry shared with the devices (``None`` = each its own).
+        self._metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = FleetRouterStats(metrics)
         self.layout_policy = layout_policy
         self.scheduler_factory = scheduler_factory
         #: Epoch-versioned roster: who is in the fleet, with which config.
@@ -251,6 +308,9 @@ class FleetRouter:
                 scheduler=self.scheduler_factory(),
                 config=record.config,
                 migration_throttle=self._make_throttle(),
+                name=record.device_id,
+                metrics=self._metrics,
+                tracer=self.tracer,
             )
         member = FleetMember(
             device_id=record.device_id,
@@ -272,6 +332,15 @@ class FleetRouter:
         member.requests_routed += 1
         member.outstanding += 1
         self.stats.requests_routed += 1
+        if self.tracer.enabled:
+            self.tracer.route(
+                request.query_id,
+                request.object_key,
+                member.device_id,
+                self.membership.epoch,
+                self.spec.replica_policy,
+                member.outstanding,
+            )
         # One callback per request, however often it is re-routed; the owner
         # map points at whichever member is actually serving it now.
         if request.request_id not in self._owner_by_request:
@@ -343,9 +412,8 @@ class FleetRouter:
         drained: List[GetRequest] = []
         if device is not None:
             drained = device.drain_pending()
-            for _request in drained:
-                member.outstanding -= 1
-                self.stats.failed_over += 1
+            member.outstanding -= len(drained)
+            self.stats.failed_over += len(drained)
             self.stats.dropped_migration_jobs += len(device.drain_migration_jobs())
         if self.spec.repair and self.membership.replication >= 2:
             # Read-repair: re-place over the survivors and re-create the dead
@@ -391,9 +459,8 @@ class FleetRouter:
         drained: List[GetRequest] = []
         if member.device is not None:
             drained = member.device.drain_pending()
-            for _request in drained:
-                member.outstanding -= 1
-                self.stats.handed_off += 1
+            member.outstanding -= len(drained)
+            self.stats.handed_off += len(drained)
         self._rebalance("leave", device_id)
         for request in drained:
             self.submit(request)
@@ -517,6 +584,9 @@ class FleetRouter:
                     scheduler=self.scheduler_factory(),
                     config=record.config,
                     migration_throttle=self._make_throttle(),
+                    name=member.device_id,
+                    metrics=self._metrics,
+                    tracer=self.tracer,
                 )
             else:
                 extend_layout_with_keys(member.device.layout, ordered)
@@ -583,24 +653,10 @@ class FleetRouter:
     @property
     def device_stats(self) -> DeviceStats:
         """Fleet-wide counters in the single-device stats shape."""
-        combined = DeviceStats()
+        combined = DeviceStats(name="fleet")
         for member in self.members:
-            if member.device is None:
-                continue
-            stats = member.device.stats
-            combined.objects_served += stats.objects_served
-            combined.group_switches += stats.group_switches
-            combined.requests_received += stats.requests_received
-            combined.migration_jobs += stats.migration_jobs
-            combined.migration_seconds += stats.migration_seconds
-            combined.migration_interference_seconds += (
-                stats.migration_interference_seconds
-            )
-            combined.migration_deferrals += stats.migration_deferrals
-            for client_id, count in stats.objects_per_client.items():
-                combined.objects_per_client[client_id] = (
-                    combined.objects_per_client.get(client_id, 0) + count
-                )
+            if member.device is not None:
+                combined.absorb(member.device.stats)
         return combined
 
     def scheduler_switches(self) -> int:

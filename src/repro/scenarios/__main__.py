@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the golden directory (default: tests/golden)",
     )
     parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="with --run: record an end-to-end trace of the run and write it "
+        "to FILE (analyse with python -m repro.trace FILE)",
+    )
+    parser.add_argument(
         "--enforce-wall-time",
         action="store_true",
         help="with --check: fail scenarios exceeding their committed "
@@ -193,9 +201,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if arguments.run is not None:
-        report = runner.run(get_scenario(arguments.run))
+        if arguments.trace is not None:
+            report, trace_json = runner.run_traced(get_scenario(arguments.run))
+            arguments.trace.write_text(trace_json)
+            print(f"wrote {arguments.trace}", file=sys.stderr)
+        else:
+            report = runner.run(get_scenario(arguments.run))
         print(report.to_json(), end="")
         return 0
+
+    if arguments.trace is not None:
+        print("error: --trace requires --run", file=sys.stderr)
+        return 2
 
     if arguments.run_all:
         failures = 0

@@ -11,8 +11,11 @@ harness diffs against.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+from repro.exceptions import ConfigurationError
 
 #: Decimal places kept in serialized floats.  The simulation is exactly
 #: deterministic, so this only canonicalises repr noise, not real variance.
@@ -37,10 +40,21 @@ SCHEMA_VERSION = 5
 
 
 def canonical(value: Any) -> Any:
-    """Recursively round floats and normalise containers for serialization."""
+    """Recursively round floats and normalise containers for serialization.
+
+    Non-finite floats are rejected: ``json.dumps`` would emit bare ``NaN`` /
+    ``Infinity`` tokens, which are not JSON and would poison the goldens
+    silently.  A NaN anywhere in a report is a metrics bug — fail loudly.
+    """
     if isinstance(value, bool):
         return value
     if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"cannot serialize non-finite float {value!r} in a canonical "
+                "report; a NaN or infinity here means a metric was computed "
+                "from an empty or corrupt sample set"
+            )
         rounded = round(value, FLOAT_PRECISION)
         return rounded + 0.0  # normalise -0.0 to 0.0
     if isinstance(value, dict):

@@ -12,7 +12,8 @@ canonical :class:`~repro.scenarios.report.ScenarioReport`.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster.client import ClientSpec
 from repro.cluster.cluster import ClusterConfig, ClusterResult
@@ -169,6 +170,25 @@ class ScenarioRunner:
         if self.check:
             checked = check_invariants(service, result)
         return self._build_report(spec, service, result, checked)
+
+    def run_traced(self, spec: ScenarioSpec) -> Tuple[ScenarioReport, str]:
+        """Run ``spec`` with tracing on; returns the report + trace JSON.
+
+        A spec with ``trace=False`` is transparently re-materialised with
+        tracing enabled, so CLI callers can trace any registered scenario.
+        """
+        from repro.obs.export import build_trace, trace_to_json
+
+        if not spec.trace:
+            spec = replace(spec, trace=True)
+        service = self.build_service(spec)
+        result = service.run()
+        checked: List[str] = []
+        if self.check:
+            checked = check_invariants(service, result)
+        report = self._build_report(spec, service, result, checked)
+        document = build_trace(service, scenario=spec.name)
+        return report, trace_to_json(document)
 
     # ------------------------------------------------------------------ #
     # Report assembly

@@ -140,6 +140,11 @@ class ScenarioSpec:
     #: controller (in-flight caps, bounded queue, typed rejections).  ``None``
     #: disables admission and reproduces the legacy batch behaviour exactly.
     admission: Optional[AdmissionConfig] = None
+    #: When true, the service records an end-to-end trace of the run
+    #: (admission → routing → device → operators) exportable with
+    #: ``--trace``.  Off by default; the untraced event sequence — and hence
+    #: every golden report — is unaffected either way.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -190,6 +195,10 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: admission must be an AdmissionConfig "
                 f"or None, got {self.admission!r}"
             )
+        if not isinstance(self.trace, bool):
+            raise ScenarioError(
+                f"scenario {self.name!r}: trace must be a bool, got {self.trace!r}"
+            )
         if self.scheduler_param is not None and (
             not math.isfinite(self.scheduler_param) or self.scheduler_param < 0
         ):
@@ -217,8 +226,12 @@ class ScenarioSpec:
         return seen
 
     def to_dict(self) -> Dict[str, object]:
-        """Serializable description of the spec (embedded in reports)."""
-        return {
+        """Serializable description of the spec (embedded in reports).
+
+        ``trace`` is only emitted when enabled, so the reports (and goldens)
+        of untraced runs are byte-identical to the pre-tracing schema.
+        """
+        document: Dict[str, object] = {
             "name": self.name,
             "description": self.description,
             "tenants": [tenant.to_dict() for tenant in self.tenants],
@@ -235,6 +248,9 @@ class ScenarioSpec:
             "fleet": self.fleet.to_dict() if self.fleet is not None else None,
             "admission": self.admission.to_dict() if self.admission is not None else None,
         }
+        if self.trace:
+            document["trace"] = True
+        return document
 
 
 def uniform_tenants(

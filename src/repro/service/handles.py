@@ -60,6 +60,20 @@ class QueryHandle:
             return 0.0
         return self.started_at - self.queued_at
 
+    @property
+    def service_seconds(self) -> float:
+        """Execution time only: from running to finished (0.0 until then)."""
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end time in the service: submit to terminal (0.0 until then)."""
+        if self.submitted_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.submitted_at
+
     def result(self) -> "QueryResult":
         """The executor's measurement, once the simulation has run.
 
@@ -82,23 +96,55 @@ class QueryHandle:
     # ------------------------------------------------------------------ #
     # Transitions (driven by the session / admission controller)
     # ------------------------------------------------------------------ #
+    def _check_transition(self, target: str, allowed: tuple, now: float, floor: Optional[float]) -> None:
+        if self.status not in allowed:
+            raise ServiceError(
+                f"query {self.query.name!r} of tenant {self.tenant_id!r}: "
+                f"illegal transition {self.status} -> {target}"
+            )
+        if floor is not None and now < floor:
+            raise ServiceError(
+                f"query {self.query.name!r} of tenant {self.tenant_id!r}: "
+                f"non-monotonic timestamp {now} < {floor} entering {target}"
+            )
+
     def _mark_submitted(self, now: float) -> None:
+        if self.submitted_at is not None:
+            raise ServiceError(
+                f"query {self.query.name!r} of tenant {self.tenant_id!r} was "
+                "already submitted"
+            )
+        self._check_transition(STATUS_PENDING, (STATUS_PENDING,), now, None)
         self.submitted_at = now
 
     def _mark_queued(self, now: float) -> None:
+        self._check_transition(STATUS_QUEUED, (STATUS_PENDING,), now, self.submitted_at)
         self.status = STATUS_QUEUED
         self.queued_at = now
 
     def _mark_running(self, now: float) -> None:
+        self._check_transition(
+            STATUS_RUNNING,
+            (STATUS_PENDING, STATUS_QUEUED),
+            now,
+            self.queued_at if self.queued_at is not None else self.submitted_at,
+        )
         self.status = STATUS_RUNNING
         self.started_at = now
 
     def _mark_finished(self, result: "QueryResult", now: float) -> None:
+        self._check_transition(STATUS_FINISHED, (STATUS_RUNNING,), now, self.started_at)
         self.status = STATUS_FINISHED
         self.finished_at = now
         self._result = result
 
     def _mark_rejected(self, error: AdmissionError, now: float) -> None:
+        self._check_transition(
+            STATUS_REJECTED,
+            (STATUS_PENDING, STATUS_QUEUED),
+            now,
+            self.queued_at if self.queued_at is not None else self.submitted_at,
+        )
         self.status = STATUS_REJECTED
         self.finished_at = now
         self._error = error

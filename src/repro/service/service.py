@@ -34,6 +34,7 @@ from repro.csd.scheduler import IOScheduler, RankBasedScheduler
 from repro.engine.catalog import Catalog
 from repro.exceptions import ConfigurationError, ServiceError
 from repro.fleet.router import FleetRouter
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 from repro.service.admission import AdmissionConfig, AdmissionController
 from repro.service.handles import QueryHandle
 from repro.service.session import Session
@@ -60,6 +61,7 @@ class StorageService:
         scheduler: Optional[IOScheduler] = None,
         scheduler_factory: Optional[Callable[[], IOScheduler]] = None,
         admission: Optional[AdmissionConfig] = None,
+        trace: Optional[bool] = None,
     ) -> None:
         if scheduler is not None and scheduler_factory is not None:
             raise ConfigurationError("pass either scheduler or scheduler_factory, not both")
@@ -95,12 +97,19 @@ class StorageService:
                 scheduler_factory = lambda: build_scheduler(spec)  # noqa: E731
             if admission is None:
                 admission = spec.admission
+            if trace is None:
+                trace = spec.trace
 
         self.catalog = catalog
         self.config = config
         self.cost_model = config.cost_model
         self.env = Environment()
         self.object_store = ObjectStore()
+        #: Service-wide metrics registry every component registers into.
+        self.metrics = MetricsRegistry()
+        #: Simulated-time tracer; the shared no-op singleton when disabled,
+        #: so the off path costs one (false) attribute check per hook.
+        self.tracer = Tracer(self.env) if trace else NULL_TRACER
 
         client_objects: Dict[str, List[str]] = {}
         for spec_ in config.client_specs:
@@ -130,6 +139,8 @@ class StorageService:
                 layout_policy=config.layout_policy,
                 scheduler_factory=factory,
                 device_config=config.device_config,
+                metrics=self.metrics,
+                tracer=self.tracer,
             )
             self.device = None
             self.layout = None
@@ -145,13 +156,17 @@ class StorageService:
                 layout=self.layout,
                 scheduler=self.scheduler,
                 config=config.device_config,
+                metrics=self.metrics,
+                tracer=self.tracer,
             )
             backend = self.device
         #: What sessions actually talk to: the single device or the fleet router.
         self.backend = backend
         #: Admission controller, or ``None`` when admission is disabled.
         self.admission: Optional[AdmissionController] = (
-            AdmissionController(self.env, admission) if admission is not None else None
+            AdmissionController(self.env, admission, metrics=self.metrics)
+            if admission is not None
+            else None
         )
         self._specs_by_tenant = {spec_.client_id: spec_ for spec_ in config.client_specs}
         #: Sessions currently accepting submissions, by tenant.

@@ -171,24 +171,50 @@ class Session:
             self._wakeup = None
 
     def _execute(self, handle: QueryHandle):
+        tracer = self.service.tracer
+        root = None
+        if tracer.enabled:
+            root = tracer.start_span(
+                f"query:{handle.query.name}",
+                kind="query",
+                track=self.tenant_id,
+                tenant=self.tenant_id,
+                query=handle.query.name,
+            )
         admission = self.service.admission
         if admission is not None:
             ticket = admission.request(self.tenant_id)
             if ticket.rejected:
                 handle._mark_rejected(ticket.error, self.env.now)
                 self._outstanding -= 1
+                if root is not None:
+                    root.attrs["status"] = "rejected"
+                    tracer.add_event(root, "admission.rejected")
+                    tracer.end_span(root)
                 return
             if ticket.queued:
                 handle._mark_queued(self.env.now)
+                if root is not None:
+                    tracer.add_event(root, "admission.queued")
             yield ticket.event
+            if root is not None:
+                tracer.add_event(root, "admission.granted")
         handle._mark_running(self.env.now)
         executor = self._make_executor()
+        if root is not None:
+            executor.tracer = tracer
+            executor.trace_parent = root
         try:
             result = yield from executor.execute(handle.query)
         finally:
             if admission is not None:
                 admission.release(self.tenant_id)
         handle._mark_finished(result, self.env.now)
+        if root is not None:
+            root.attrs["status"] = "finished"
+            root.attrs["queue_delay"] = handle.queue_delay
+            root.attrs["execution_time"] = result.execution_time
+            tracer.end_span(root)
         self.results.append(result)
         self._outstanding -= 1
 

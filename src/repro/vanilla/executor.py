@@ -14,6 +14,7 @@ from repro.engine.planner import Planner
 from repro.engine.query import Query
 from repro.engine.relation import Relation, Segment
 from repro.exceptions import ExecutionError
+from repro.obs import NULL_TRACER
 from repro.sim import Environment
 
 
@@ -69,6 +70,9 @@ class VanillaExecutor:
         self.cost_model = cost_model or CostModel()
         self.proxy = proxy or ClientProxy(env, device, client_id)
         self.planner = Planner(catalog)
+        #: Installed by the session when the service traces (NULL otherwise).
+        self.tracer = NULL_TRACER
+        self.trace_parent = None
 
     def execute(self, query: Query):
         """Simulation-process generator executing ``query`` to completion."""
@@ -81,16 +85,51 @@ class VanillaExecutor:
         blocked: List[Tuple[float, float]] = []
         fetched: Dict[str, List[Segment]] = {table: [] for table in query.tables}
 
+        tracer = self.tracer
+        traced = tracer.enabled
+        exec_span = None
+        if traced:
+            exec_span = tracer.start_span(
+                "execute",
+                kind="executor",
+                track=self.client_id,
+                parent=self.trace_parent,
+                query_id=query_id,
+                mode="vanilla",
+            )
+            tracer.bind_query(query_id, exec_span)
+
         for segment_id in access_order:
             overhead = self.cost_model.request_overhead(1)
             if overhead > 0:
                 processing_time += overhead
+                overhead_start = self.env.now
                 yield self.env.timeout(overhead)
+                if traced:
+                    tracer.record_span(
+                        "request-overhead",
+                        kind="compute",
+                        track=self.client_id,
+                        start=overhead_start,
+                        end=self.env.now,
+                        parent=exec_span,
+                        requests=1,
+                    )
             self.proxy.request_objects([segment_id], query_id)
             wait_start = self.env.now
             arrived_id, payload = yield self.proxy.receive()
             if self.env.now > wait_start:
                 blocked.append((wait_start, self.env.now))
+                if traced:
+                    tracer.record_span(
+                        "wait",
+                        kind="wait",
+                        track=self.client_id,
+                        start=wait_start,
+                        end=self.env.now,
+                        parent=exec_span,
+                        object_key=segment_id,
+                    )
             if arrived_id != segment_id:
                 raise ExecutionError(
                     f"pull-based executor expected {segment_id!r} but received {arrived_id!r}"
@@ -100,15 +139,41 @@ class VanillaExecutor:
             scan_seconds = self.cost_model.scan_time(payload.num_rows)
             if scan_seconds > 0:
                 processing_time += scan_seconds
+                scan_start = self.env.now
                 yield self.env.timeout(scan_seconds)
+                if traced:
+                    tracer.record_span(
+                        "compute",
+                        kind="compute",
+                        track=self.client_id,
+                        start=scan_start,
+                        end=self.env.now,
+                        parent=exec_span,
+                        object_key=segment_id,
+                    )
 
-        rows, stats = self._process_locally(query, plan, fetched)
+        rows, stats, root = self._process_locally(query, plan, fetched)
         remaining_cpu = self._remaining_cpu_time(stats)
         if remaining_cpu > 0:
             processing_time += remaining_cpu
+            cpu_start = self.env.now
             yield self.env.timeout(remaining_cpu)
+            if traced:
+                tracer.record_span(
+                    "compute",
+                    kind="compute",
+                    track=self.client_id,
+                    start=cpu_start,
+                    end=self.env.now,
+                    parent=exec_span,
+                    phase="join-aggregate",
+                )
 
         end_time = self.env.now
+        if traced:
+            self._record_operator_spans(tracer, root, exec_span, end_time)
+            exec_span.attrs["num_requests"] = len(access_order)
+            tracer.end_span(exec_span, end_time)
         return VanillaQueryResult(
             query_name=query.name,
             client_id=self.client_id,
@@ -126,7 +191,7 @@ class VanillaExecutor:
     # ------------------------------------------------------------------ #
     def _process_locally(
         self, query: Query, plan, fetched: Dict[str, List[Segment]]
-    ) -> Tuple[List[Row], OperatorStats]:
+    ) -> Tuple[List[Row], OperatorStats, object]:
         relations: Dict[str, Relation] = {}
         for table, segments in fetched.items():
             schema = self.catalog.schema(table)
@@ -137,7 +202,24 @@ class VanillaExecutor:
             relations[table] = Relation(schema, rebuilt)
         root = self.planner.build_operator_tree(plan, relation_provider=relations.__getitem__)
         rows = root.rows()
-        return rows, root.collect_stats()
+        return rows, root.collect_stats(), root
+
+    def _record_operator_spans(self, tracer, operator, parent, at: float) -> None:
+        """Instant span per physical operator, preserving the tree shape."""
+        span = tracer.record_span(
+            f"operator:{type(operator).__name__}",
+            kind="operator",
+            track=self.client_id,
+            start=at,
+            end=at,
+            parent=parent,
+            tuples_scanned=operator.stats.tuples_scanned,
+            tuples_built=operator.stats.tuples_built,
+            tuples_probed=operator.stats.tuples_probed,
+            tuples_output=operator.stats.tuples_output,
+        )
+        for child in operator.children():
+            self._record_operator_spans(tracer, child, span, at)
 
     def _remaining_cpu_time(self, stats: OperatorStats) -> float:
         """Join/aggregation CPU not already charged during the fetch phase.
