@@ -15,8 +15,17 @@ behaviour of both systems:
 :mod:`repro.analysis.model` implements these formulas so that the simulator
 can be validated against them (see ``tests/test_analysis.py`` and
 ``benchmarks/bench_analysis_validation.py``).
+
+The package also houses the repo's *static*-analysis suite — an AST-based
+rule engine (:mod:`repro.analysis.engine`) with determinism and
+simulation-safety rule packs (:mod:`repro.analysis.rules`), run as
+``python -m repro.analysis [paths] [--strict] [--format json|text]`` and
+gated in CI.  See the README "Static analysis & typing" section for the
+rule table and the ``# repro: noqa[RPRnnn] reason=...`` policy.
 """
 
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig, RuleScope
+from repro.analysis.engine import AnalysisError, Finding, Rule, analyze_source
 from repro.analysis.model import (
     AnalyticalModel,
     mjoin_expected_cycles,
@@ -24,9 +33,19 @@ from repro.analysis.model import (
     skipper_waiting_time,
     vanilla_execution_time,
 )
+from repro.analysis.rules import ALL_RULES, build_rules
 
 __all__ = [
+    "ALL_RULES",
+    "AnalysisConfig",
+    "AnalysisError",
     "AnalyticalModel",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "Rule",
+    "RuleScope",
+    "analyze_source",
+    "build_rules",
     "mjoin_expected_cycles",
     "rank_fairness_bound",
     "skipper_waiting_time",

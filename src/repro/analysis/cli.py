@@ -1,0 +1,148 @@
+"""Command-line entry point: ``python -m repro.analysis [paths] [options]``.
+
+Exit status: 0 when no unsuppressed finding remains (warnings allowed unless
+``--strict``), 1 when findings fail the run, 2 on usage errors.  CI runs
+``python -m repro.analysis src tests --strict`` and uploads the ``--output``
+JSON document as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.engine import (
+    MALFORMED_SUPPRESSION,
+    PARSE_ERROR,
+    AnalysisError,
+    Finding,
+    analyze_source,
+    discover_files,
+)
+from repro.analysis.reporting import (
+    build_document,
+    count_findings,
+    format_json,
+    format_text,
+    list_rules_text,
+)
+from repro.analysis.rules import build_rules, rules_by_code
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    root: Path,
+    config: AnalysisConfig = DEFAULT_CONFIG,
+) -> tuple[List[Finding], int]:
+    """Analyse every .py file under ``paths``; returns (findings, files)."""
+    known_codes = sorted(rules_by_code()) + [MALFORMED_SUPPRESSION, PARSE_ERROR]
+    findings: List[Finding] = []
+    files = discover_files([Path(path) for path in paths])
+    for file_path in files:
+        try:
+            rel_path = file_path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError as error:
+            raise AnalysisError(
+                f"{file_path} is outside the analysis root {root}; pass "
+                "--rootdir to anchor rule scoping"
+            ) from error
+        active_rules = [
+            rule
+            for rule in build_rules()
+            if config.rule_active(rule.code, rel_path)
+        ]
+        findings.extend(
+            analyze_source(
+                file_path.read_text(encoding="utf-8"),
+                rel_path,
+                active_rules,
+                known_codes=known_codes,
+            )
+        )
+    return sorted(findings, key=lambda finding: finding.sort_key), len(files)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & safety static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on any unsuppressed finding, warnings included",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format printed to stdout (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON findings document to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--rootdir",
+        metavar="DIR",
+        default=".",
+        help="repo root that rule-scoping patterns are relative to "
+        "(default: current directory)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        sys.stdout.write(list_rules_text())
+        return 0
+
+    root = Path(args.rootdir)
+    try:
+        findings, files_scanned = analyze_paths(
+            [Path(path) for path in args.paths], root
+        )
+    except (AnalysisError, OSError) as error:
+        sys.stderr.write(f"repro.analysis: {error}\n")
+        return 2
+
+    document = build_document(
+        findings,
+        paths=[str(path) for path in args.paths],
+        files_scanned=files_scanned,
+        strict=args.strict,
+    )
+    if args.format == "json":
+        sys.stdout.write(format_json(document))
+    else:
+        sys.stdout.write(
+            format_text(findings, files_scanned, show_suppressed=args.show_suppressed)
+        )
+    if args.output is not None:
+        Path(args.output).write_text(format_json(document), encoding="utf-8")
+
+    counts = count_findings(findings)
+    failed = counts["active"] if args.strict else counts["errors"]
+    return 1 if failed else 0

@@ -1,0 +1,447 @@
+"""Rule engine for the repo-specific static-analysis suite.
+
+The engine parses each Python file once, walks the AST a single time and
+dispatches every node to the ``visit_<NodeType>`` / ``leave_<NodeType>``
+methods of the active rules.  Rules report :class:`Finding` objects through
+the shared :class:`FileContext`; the engine then applies inline suppression
+comments of the form::
+
+    # repro: noqa[RPR001] reason=iteration order is folded through sorted()
+
+A suppression must name at least one rule code *and* carry a non-empty
+``reason=`` — a comment that fails either requirement is itself reported as
+``RPR000`` so that reason-less escapes cannot accumulate silently.
+
+Everything here is deterministic by construction: files are visited in
+sorted order, findings sort by ``(path, line, col, code)`` and no wall-clock
+or randomised state is consulted (the analyzer must satisfy its own rules —
+it is part of ``src/repro`` and is analysed in CI like any other module).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ReproError
+
+#: Engine-reserved codes (not tied to a rule class).
+MALFORMED_SUPPRESSION = "RPR000"
+PARSE_ERROR = "RPR999"
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa"
+    r"(?:\[(?P<codes>[^\]]*)\])?"
+    r"(?:\s+reason=(?P<reason>.*\S))?"
+)
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+class AnalysisError(ReproError):
+    """Raised when the static-analysis suite itself is misused."""
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set the class attributes below and implement any number of
+    ``visit_<NodeType>(node, ctx)`` / ``leave_<NodeType>(node, ctx)``
+    methods; the engine calls them during its single AST walk.  Per-file
+    state belongs in :meth:`start_file`.
+    """
+
+    code: str = "RPR???"
+    name: str = "unnamed-rule"
+    summary: str = ""
+    severity: str = SEVERITY_ERROR
+
+    def start_file(self, ctx: FileContext) -> None:
+        """Hook called before the walk of each file begins."""
+
+
+@dataclass
+class Finding:
+    """One rule violation (or suppression bookkeeping entry) in one file."""
+
+    code: str
+    name: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: Optional[str] = None
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "name": self.name,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "suppression_reason": self.suppression_reason,
+        }
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# repro: noqa[...]`` comment on one physical line."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+    malformed: Optional[str] = None  # message when the comment is invalid
+
+
+@dataclass
+class FileContext:
+    """Per-file state shared between the engine and the rules."""
+
+    rel_path: str
+    source: str
+    tree: ast.Module
+    findings: List[Finding] = field(default_factory=list)
+    #: Alias -> fully dotted imported name (``{"dt": "datetime.datetime"}``).
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: Ancestors of the node currently being visited (outermost first),
+    #: including that node as the last element.
+    node_stack: List[ast.AST] = field(default_factory=list)
+    #: Enclosing function definitions (outermost first).
+    function_stack: List[ast.AST] = field(default_factory=list)
+    #: Function nodes whose own body contains a ``yield``.
+    generator_functions: Set[ast.AST] = field(default_factory=set)
+
+    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                code=rule.code,
+                name=rule.name,
+                severity=rule.severity,
+                path=self.rel_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    # -------------------------------------------------------------- #
+    # Helpers shared by rules
+    # -------------------------------------------------------------- #
+    def parent(self) -> Optional[ast.AST]:
+        """The direct parent of the node currently being visited."""
+        if len(self.node_stack) < 2:
+            return None
+        return self.node_stack[-2]
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain to a dotted path through imports.
+
+        ``time.sleep`` resolves even when imported as ``import time as t``
+        (``t.sleep``) or ``from time import sleep`` (``sleep``).  Returns
+        ``None`` for expressions that are not plain dotted names.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.imports.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def call_target(self, node: ast.Call) -> Optional[str]:
+        """Dotted name of a call's callee, or ``None``."""
+        return self.dotted_name(node.func)
+
+    def is_builtin_ref(self, node: ast.AST, builtin_name: str) -> bool:
+        """Whether ``node`` is a bare reference to an unshadowed builtin."""
+        return (
+            isinstance(node, ast.Name)
+            and node.id == builtin_name
+            and node.id not in self.imports
+        )
+
+    def current_function(self) -> Optional[ast.AST]:
+        """Innermost enclosing ``def`` (lambdas excluded), or ``None``."""
+        for candidate in reversed(self.function_stack):
+            if isinstance(candidate, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return candidate
+        return None
+
+    def in_process_generator(self) -> bool:
+        """Whether the current code is inside a generator function body."""
+        current = self.current_function()
+        return current is not None and current in self.generator_functions
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, str]]:
+    """``(line, text)`` for every real comment token in ``source``.
+
+    Tokenising (rather than regex-scanning raw lines) keeps docstrings and
+    string literals that merely *mention* the noqa syntax from being parsed
+    as suppressions.
+    """
+    comments: List[Tuple[int, str]] = []
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except tokenize.TokenError:  # pragma: no cover - file already parsed
+        pass
+    return comments
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract ``# repro: noqa[...]`` comments, flagging malformed ones."""
+    suppressions: List[Suppression] = []
+    for lineno, line in _comment_tokens(source):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        raw_codes = match.group("codes")
+        reason = (match.group("reason") or "").strip()
+        if raw_codes is None:
+            suppressions.append(
+                Suppression(
+                    line=lineno,
+                    codes=(),
+                    reason=reason,
+                    malformed="suppression must name rule codes: "
+                    "`# repro: noqa[RPRnnn] reason=...`",
+                )
+            )
+            continue
+        codes = tuple(code.strip() for code in raw_codes.split(",") if code.strip())
+        bad = sorted(code for code in codes if not _CODE_RE.match(code))
+        if not codes or bad:
+            suppressions.append(
+                Suppression(
+                    line=lineno,
+                    codes=codes,
+                    reason=reason,
+                    malformed=f"suppression names invalid rule codes {bad or ['<none>']}",
+                )
+            )
+            continue
+        if not reason:
+            suppressions.append(
+                Suppression(
+                    line=lineno,
+                    codes=codes,
+                    reason="",
+                    malformed="suppression requires a justification: "
+                    "`# repro: noqa[%s] reason=...`" % ",".join(codes),
+                )
+            )
+            continue
+        suppressions.append(Suppression(line=lineno, codes=codes, reason=reason))
+    return suppressions
+
+
+def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports stay unresolved
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _collect_generator_functions(tree: ast.Module) -> Set[ast.AST]:
+    generators: Set[ast.AST] = set()
+    stack: List[ast.AST] = []
+
+    class _Visitor(ast.NodeVisitor):
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            stack.append(node)
+            self.generic_visit(node)
+            stack.pop()
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            stack.append(node)
+            self.generic_visit(node)
+            stack.pop()
+
+        def visit_Yield(self, node: ast.Yield) -> None:
+            if stack:
+                generators.add(stack[-1])
+            self.generic_visit(node)
+
+        def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+            if stack:
+                generators.add(stack[-1])
+            self.generic_visit(node)
+
+    _Visitor().visit(tree)
+    return generators
+
+
+class _Walker:
+    """Single-pass AST walker with per-node rule dispatch."""
+
+    def __init__(self, rules: Sequence[Rule], ctx: FileContext) -> None:
+        self.ctx = ctx
+        self._visit: Dict[str, List[Any]] = {}
+        self._leave: Dict[str, List[Any]] = {}
+        for rule in rules:
+            for attr in sorted(dir(rule)):
+                if attr.startswith("visit_"):
+                    self._visit.setdefault(attr[len("visit_"):], []).append(
+                        getattr(rule, attr)
+                    )
+                elif attr.startswith("leave_"):
+                    self._leave.setdefault(attr[len("leave_"):], []).append(
+                        getattr(rule, attr)
+                    )
+
+    def walk(self, node: ast.AST) -> None:
+        ctx = self.ctx
+        type_name = type(node).__name__
+        is_function = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        ctx.node_stack.append(node)
+        if is_function:
+            ctx.function_stack.append(node)
+        for method in self._visit.get(type_name, ()):
+            method(node, ctx)
+        for child in ast.iter_child_nodes(node):
+            self.walk(child)
+        for method in self._leave.get(type_name, ()):
+            method(node, ctx)
+        if is_function:
+            ctx.function_stack.pop()
+        ctx.node_stack.pop()
+
+
+def _engine_finding(
+    code: str, rel_path: str, line: int, col: int, message: str
+) -> Finding:
+    name = "malformed-suppression" if code == MALFORMED_SUPPRESSION else "parse-error"
+    return Finding(
+        code=code,
+        name=name,
+        severity=SEVERITY_ERROR,
+        path=rel_path,
+        line=line,
+        col=col,
+        message=message,
+    )
+
+
+def analyze_source(
+    source: str,
+    rel_path: str,
+    rules: Sequence[Rule],
+    known_codes: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Analyse one file's source with the given (already scoped) rules.
+
+    Returns all findings — suppressed ones included, with their
+    ``suppressed`` flag set — sorted by position.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            _engine_finding(
+                PARSE_ERROR,
+                rel_path,
+                error.lineno or 1,
+                (error.offset or 1) - 1,
+                f"file does not parse: {error.msg}",
+            )
+        ]
+
+    ctx = FileContext(rel_path=rel_path, source=source, tree=tree)
+    ctx.imports = _collect_imports(tree)
+    ctx.generator_functions = _collect_generator_functions(tree)
+    for rule in rules:
+        rule.start_file(ctx)
+    _Walker(rules, ctx).walk(tree)
+
+    findings = ctx.findings
+    suppressions = parse_suppressions(source)
+    recognised = set(known_codes) if known_codes is not None else None
+    by_line: Dict[int, Suppression] = {}
+    for suppression in suppressions:
+        if suppression.malformed is not None:
+            findings.append(
+                _engine_finding(
+                    MALFORMED_SUPPRESSION,
+                    rel_path,
+                    suppression.line,
+                    0,
+                    suppression.malformed,
+                )
+            )
+            continue
+        unknown = (
+            sorted(set(suppression.codes) - recognised)
+            if recognised is not None
+            else []
+        )
+        if unknown:
+            findings.append(
+                _engine_finding(
+                    MALFORMED_SUPPRESSION,
+                    rel_path,
+                    suppression.line,
+                    0,
+                    f"suppression names unknown rule codes {unknown}",
+                )
+            )
+            continue
+        by_line[suppression.line] = suppression
+
+    for finding in findings:
+        suppression = by_line.get(finding.line)
+        if suppression is not None and finding.code in suppression.codes:
+            finding.suppressed = True
+            finding.suppression_reason = suppression.reason
+
+    return sorted(findings, key=lambda finding: finding.sort_key)
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: Set[Path] = set()
+    ordered: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise AnalysisError(f"not a Python file or directory: {path}")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                ordered.append(candidate)
+    return ordered

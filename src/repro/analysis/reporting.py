@@ -1,0 +1,87 @@
+"""Deterministic text and JSON rendering of analysis findings."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.engine import SEVERITY_ERROR, SEVERITY_WARNING, Finding
+from repro.analysis.rules import ALL_RULES
+
+#: Version of the JSON findings document (CI uploads it as an artifact).
+DOCUMENT_SCHEMA_VERSION = 1
+
+
+def count_findings(findings: Sequence[Finding]) -> Dict[str, int]:
+    active = [finding for finding in findings if not finding.suppressed]
+    return {
+        "total": len(findings),
+        "active": len(active),
+        "errors": sum(1 for f in active if f.severity == SEVERITY_ERROR),
+        "warnings": sum(1 for f in active if f.severity == SEVERITY_WARNING),
+        "suppressed": len(findings) - len(active),
+    }
+
+
+def build_document(
+    findings: Sequence[Finding],
+    paths: Sequence[str],
+    files_scanned: int,
+    strict: bool,
+) -> Dict[str, Any]:
+    """The machine-readable findings document (stable key order)."""
+    ordered = sorted(findings, key=lambda finding: finding.sort_key)
+    return {
+        "schema_version": DOCUMENT_SCHEMA_VERSION,
+        "tool": "repro.analysis",
+        "strict": strict,
+        "paths": list(paths),
+        "files_scanned": files_scanned,
+        "rules": [
+            {
+                "code": rule.code,
+                "name": rule.name,
+                "severity": rule.severity,
+                "summary": rule.summary,
+            }
+            for rule in ALL_RULES
+        ],
+        "counts": count_findings(ordered),
+        "findings": [finding.to_dict() for finding in ordered],
+    }
+
+
+def format_json(document: Dict[str, Any]) -> str:
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def format_text(
+    findings: Sequence[Finding], files_scanned: int, show_suppressed: bool = False
+) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    ordered = sorted(findings, key=lambda finding: finding.sort_key)
+    lines: List[str] = []
+    for finding in ordered:
+        if finding.suppressed and not show_suppressed:
+            continue
+        suffix = ""
+        if finding.suppressed:
+            suffix = f"  (suppressed: {finding.suppression_reason})"
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.code} [{finding.name}] {finding.message}{suffix}"
+        )
+    counts = count_findings(ordered)
+    lines.append(
+        f"{files_scanned} files scanned: {counts['errors']} errors, "
+        f"{counts['warnings']} warnings, {counts['suppressed']} suppressed"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def list_rules_text() -> str:
+    """The rule table printed by ``--list-rules`` (mirrored in the README)."""
+    lines = [f"{'code':<8} {'severity':<8} {'name':<28} summary", "-" * 76]
+    for rule in ALL_RULES:
+        lines.append(f"{rule.code:<8} {rule.severity:<8} {rule.name:<28} {rule.summary}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,47 @@
+"""Registry of the repo-specific static-analysis rules."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.determinism import (
+    BuiltinHashInPlacement,
+    UnorderedSetIteration,
+    UnseededRandomCall,
+    UnsortedDirectoryListing,
+    WallClockCall,
+)
+from repro.analysis.rules.safety import (
+    BareOrBroadExcept,
+    BlockingCallInSimulation,
+    FloatTimeEquality,
+    MutableDefaultArgument,
+    NonTaxonomyRaise,
+)
+
+#: Every shipped rule class, in code order.
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    UnorderedSetIteration,
+    WallClockCall,
+    UnseededRandomCall,
+    BuiltinHashInPlacement,
+    UnsortedDirectoryListing,
+    FloatTimeEquality,
+    MutableDefaultArgument,
+    BareOrBroadExcept,
+    NonTaxonomyRaise,
+    BlockingCallInSimulation,
+)
+
+
+def build_rules() -> List[Rule]:
+    """Fresh rule instances (rules may hold per-file state)."""
+    return [rule_class() for rule_class in ALL_RULES]
+
+
+def rules_by_code() -> Dict[str, Type[Rule]]:
+    return {rule_class.code: rule_class for rule_class in ALL_RULES}
+
+
+__all__ = ["ALL_RULES", "build_rules", "rules_by_code"]

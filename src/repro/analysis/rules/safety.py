@@ -1,0 +1,249 @@
+"""Simulation-safety rules: API misuse that corrupts results silently.
+
+These rules guard invariants the simulator's dynamic checks cannot see:
+float equality on simulated timestamps (drift-sensitive), mutable default
+arguments (state bleeding between calls), exception handling outside the
+:class:`~repro.exceptions.ReproError` taxonomy and blocking stdlib calls
+inside simulation process generators.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional
+
+from repro.analysis.engine import SEVERITY_WARNING, FileContext, Rule
+
+_TIME_NAME_RE = re.compile(
+    r"(?:^now$|^deadline$|_deadline$|_seconds$|_time$|^elapsed$|^simulated_time$)"
+)
+
+#: Builtin exceptions that library code must not raise — everything callers
+#: can hit should derive from ReproError.  NotImplementedError (abstract
+#: methods) and the generator/interpreter control-flow exceptions stay legal.
+_DISALLOWED_RAISES = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "IOError",
+        "ImportError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "NameError",
+        "OSError",
+        "OverflowError",
+        "RuntimeError",
+        "TypeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+#: Calls that block on the outside world — poison inside a simulation that
+#: models time itself.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "socket.socket",
+        "subprocess.run",
+        "subprocess.Popen",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "os.system",
+        "os.popen",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+    }
+)
+
+#: Additionally disallowed inside simulation process generators, where even
+#: fast host I/O desynchronises the simulated timeline from side effects.
+_GENERATOR_BLOCKING_BUILTINS = ("open", "input")
+
+
+class FloatTimeEquality(Rule):
+    """RPR101: ``==``/``!=`` on simulated-time floats.
+
+    Simulated timestamps are sums of float delays; two paths to "the same"
+    instant can differ in the last ulp, so exact equality silently flips
+    branches.  Compare with an epsilon, or order with ``<``/``>``.
+    """
+
+    code = "RPR101"
+    name = "float-time-equality"
+    summary = "==/!= on simulated-time expressions; compare with tolerance"
+    severity = SEVERITY_WARNING
+
+    def _time_like(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            identifier = node.id
+        elif isinstance(node, ast.Attribute):
+            identifier = node.attr
+        else:
+            return None
+        return identifier if _TIME_NAME_RE.search(identifier) else None
+
+    def visit_Compare(self, node: ast.Compare, ctx: FileContext) -> None:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left] + list(node.comparators)
+        if any(
+            isinstance(operand, ast.Constant) and isinstance(operand.value, str)
+            for operand in operands
+        ):
+            return  # comparing names/kinds, not timestamps
+        for operand in operands:
+            identifier = self._time_like(operand)
+            if identifier is not None:
+                ctx.report(
+                    self,
+                    node,
+                    f"exact ==/!= on simulated-time value {identifier!r}; "
+                    "float timestamps need a tolerance or an ordering check",
+                )
+                return
+
+
+class MutableDefaultArgument(Rule):
+    """RPR102: mutable default arguments share state across calls."""
+
+    code = "RPR102"
+    name = "mutable-default-argument"
+    summary = "mutable default argument; default to None and build inside"
+
+    def _check(self, node: ast.AST, ctx: FileContext) -> None:
+        args = node.args  # type: ignore[attr-defined]
+        defaults = list(args.defaults) + [
+            default for default in args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and any(
+                    ctx.is_builtin_ref(default.func, builtin)
+                    for builtin in ("list", "dict", "set", "bytearray")
+                )
+            )
+            if mutable:
+                ctx.report(
+                    self,
+                    default,
+                    "mutable default argument is shared across calls; use "
+                    "None and construct inside the function",
+                )
+
+    visit_FunctionDef = _check
+    visit_AsyncFunctionDef = _check
+    visit_Lambda = _check
+
+
+class BareOrBroadExcept(Rule):
+    """RPR103: ``except:`` / ``except BaseException`` swallow everything.
+
+    Bare handlers catch ``KeyboardInterrupt``/``SystemExit`` and simulator
+    control-flow failures alike, hiding corrupted runs behind a healthy exit
+    code.  Catch the narrowest :class:`ReproError` subclass instead.
+    """
+
+    code = "RPR103"
+    name = "bare-or-broad-except"
+    summary = "bare except / except BaseException; catch ReproError kinds"
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler, ctx: FileContext) -> None:
+        if node.type is None:
+            ctx.report(
+                self,
+                node,
+                "bare except catches even KeyboardInterrupt; name the "
+                "exception types (ideally a ReproError subclass)",
+            )
+            return
+        if isinstance(node.type, ast.Name) and node.type.id == "BaseException":
+            ctx.report(
+                self,
+                node,
+                "except BaseException swallows interpreter control flow; "
+                "catch Exception or a ReproError subclass",
+            )
+
+
+class NonTaxonomyRaise(Rule):
+    """RPR104: raising builtin exceptions instead of the ReproError taxonomy.
+
+    Callers are promised a single-rooted exception hierarchy (``except
+    ReproError``); a stray ``ValueError`` escapes that net.  Re-raises
+    (``raise`` with no expression) and ``NotImplementedError`` stay legal.
+    """
+
+    code = "RPR104"
+    name = "non-taxonomy-raise"
+    summary = "builtin exception raised; use a ReproError subclass"
+
+    def visit_Raise(self, node: ast.Raise, ctx: FileContext) -> None:
+        exc = node.exc
+        if exc is None:
+            return
+        target = exc
+        if isinstance(target, ast.Call):
+            target = target.func
+        name = ctx.dotted_name(target)
+        if name is None:
+            return
+        terminal = name.split(".")[-1]
+        if terminal in _DISALLOWED_RAISES:
+            ctx.report(
+                self,
+                node,
+                f"raise {terminal} escapes the ReproError taxonomy; use the "
+                "matching subclass from repro.exceptions",
+            )
+
+
+class BlockingCallInSimulation(Rule):
+    """RPR105: blocking stdlib calls inside simulated code.
+
+    ``time.sleep`` (and sockets, subprocesses, ...) block the host thread —
+    the simulation models waiting with ``env.timeout``; real blocking both
+    slows the run and decouples wall time from simulated time.  Inside
+    process generators even ``open``/``input`` are flagged: a generator is
+    re-entered at simulated instants and must not perform host I/O.
+    """
+
+    code = "RPR105"
+    name = "blocking-call-in-simulation"
+    summary = "blocking host call (time.sleep & co.) in simulated code"
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        target = ctx.call_target(node)
+        if target in _BLOCKING_CALLS:
+            ctx.report(
+                self,
+                node,
+                f"{target}() blocks the host thread; model waiting with "
+                "env.timeout(...) instead",
+            )
+            return
+        if ctx.in_process_generator():
+            for builtin in _GENERATOR_BLOCKING_BUILTINS:
+                if ctx.is_builtin_ref(node.func, builtin):
+                    ctx.report(
+                        self,
+                        node,
+                        f"{builtin}() performs host I/O inside a simulation "
+                        "process generator; move it outside the sim loop",
+                    )
+                    return

@@ -103,7 +103,7 @@ class MergedSpans:
 
 def busy_span_index(
     busy_intervals: Sequence[BusyInterval],
-) -> Tuple["MergedSpans", "MergedSpans"]:
+) -> Tuple[MergedSpans, MergedSpans]:
     """Precompute the (all-busy, transfer-only) span unions for a run.
 
     ``attribute_waiting`` re-derives both unions from the raw busy intervals
@@ -125,7 +125,7 @@ def attribute_waiting(
     busy_intervals: Sequence[BusyInterval],
     processing_time: float = 0.0,
     *,
-    span_index: Optional[Tuple["MergedSpans", "MergedSpans"]] = None,
+    span_index: Optional[Tuple[MergedSpans, MergedSpans]] = None,
 ) -> ExecutionBreakdown:
     """Attribute a client's blocked time to device switches vs. transfers.
 

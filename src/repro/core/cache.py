@@ -46,7 +46,7 @@ class EvictionPolicy:
 
     def choose_victim(
         self,
-        cache: "ObjectCache",
+        cache: ObjectCache,
         new_object: str,
         tracker: SubplanTracker,
     ) -> str:
@@ -59,7 +59,7 @@ class MaxProgressEviction(EvictionPolicy):
 
     name = "max-progress"
 
-    def choose_victim(self, cache: "ObjectCache", new_object: str, tracker: SubplanTracker) -> str:
+    def choose_victim(self, cache: ObjectCache, new_object: str, tracker: SubplanTracker) -> str:
         cached_ids = cache.segment_ids()
         executable = tracker.executable_counts(cached_ids, new_object)
         return min(
@@ -77,7 +77,7 @@ class MaxPendingSubplansEviction(EvictionPolicy):
 
     name = "max-pending-subplans"
 
-    def choose_victim(self, cache: "ObjectCache", new_object: str, tracker: SubplanTracker) -> str:
+    def choose_victim(self, cache: ObjectCache, new_object: str, tracker: SubplanTracker) -> str:
         cached_ids = cache.segment_ids()
         return min(
             sorted(cached_ids),
@@ -90,7 +90,7 @@ class LRUEviction(EvictionPolicy):
 
     name = "lru"
 
-    def choose_victim(self, cache: "ObjectCache", new_object: str, tracker: SubplanTracker) -> str:
+    def choose_victim(self, cache: ObjectCache, new_object: str, tracker: SubplanTracker) -> str:
         return min(
             cache.objects(),
             key=lambda cached: (cached.last_used, cached.segment_id),
@@ -102,7 +102,7 @@ class FIFOEviction(EvictionPolicy):
 
     name = "fifo"
 
-    def choose_victim(self, cache: "ObjectCache", new_object: str, tracker: SubplanTracker) -> str:
+    def choose_victim(self, cache: ObjectCache, new_object: str, tracker: SubplanTracker) -> str:
         return min(
             cache.objects(),
             key=lambda cached: (cached.inserted_at, cached.segment_id),

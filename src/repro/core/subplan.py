@@ -155,7 +155,7 @@ class SubplanTracker:
         policy minimises when choosing a victim.
         """
         runnable = self.newly_runnable(cached, new_object)
-        counts = {segment_id: 0 for segment_id in cached}
+        counts = {segment_id: 0 for segment_id in cached}  # repro: noqa[RPR001] reason=dict is only read associatively via .get; its order is never observed
         for subplan in runnable:
             for segment_id in subplan.segments:
                 if segment_id in counts:

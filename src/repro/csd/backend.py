@@ -21,12 +21,12 @@ if TYPE_CHECKING:  # pragma: no cover
 class StorageBackend(Protocol):
     """Anything able to accept tagged GET requests and complete them."""
 
-    env: "Environment"
+    env: Environment
 
-    def submit(self, request: "GetRequest") -> "GetRequest":
+    def submit(self, request: GetRequest) -> GetRequest:
         """Accept a request; its ``completion`` event fires with the payload."""
         ...
 
-    def get(self, object_key: str, client_id: str, query_id: str) -> "GetRequest":
+    def get(self, object_key: str, client_id: str, query_id: str) -> GetRequest:
         """Build and submit a request for ``object_key``."""
         ...

@@ -336,7 +336,7 @@ class DeviceStats:
     def record_deferral(self) -> None:
         self._migration_deferrals.inc()
 
-    def absorb(self, other: "DeviceStats") -> None:
+    def absorb(self, other: DeviceStats) -> None:
         """Add another device's counters into this aggregate."""
         self._objects_served.inc(other.objects_served)
         self._group_switches.inc(other.group_switches)
@@ -363,7 +363,7 @@ class ColdStorageDevice:
         config: Optional[DeviceConfig] = None,
         migration_throttle: Optional[MigrationTokenBucket] = None,
         name: str = "csd0",
-        metrics: Optional["MetricsRegistry"] = None,
+        metrics: Optional[MetricsRegistry] = None,
         tracer=None,
     ) -> None:
         self.env = env

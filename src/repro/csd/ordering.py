@@ -60,13 +60,13 @@ class SemanticRoundRobinOrdering(IntraGroupOrdering):
     """
 
     def order(self, requests: Sequence[GetRequest]) -> List[GetRequest]:
-        per_query: "OrderedDict[str, List[GetRequest]]" = OrderedDict()
+        per_query: OrderedDict[str, List[GetRequest]] = OrderedDict()
         for request in sorted(requests, key=lambda request: request.request_id):
             per_query.setdefault(request.query_id, []).append(request)
 
         interleaved_per_query: Dict[str, List[GetRequest]] = {}
         for query_id, query_requests in per_query.items():
-            per_table: "OrderedDict[str, List[GetRequest]]" = OrderedDict()
+            per_table: OrderedDict[str, List[GetRequest]] = OrderedDict()
             for request in query_requests:
                 per_table.setdefault(request.table_name, []).append(request)
             for table_requests in per_table.values():

@@ -13,6 +13,8 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.exceptions import ConfigurationError
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.events import Event
 
@@ -41,12 +43,14 @@ class MigrationJob:
         seconds: float,
         epoch: int,
         reason: str = "rebalance",
-        notify: Optional[Callable[["MigrationJob", float, float, bool], None]] = None,
+        notify: Optional[Callable[[MigrationJob, float, float, bool], None]] = None,
     ) -> None:
         if direction not in ("read", "write"):
-            raise ValueError(f"migration direction must be read/write, got {direction!r}")
+            raise ConfigurationError(
+                f"migration direction must be read/write, got {direction!r}"
+            )
         if reason not in self.KNOWN_REASONS:
-            raise ValueError(
+            raise ConfigurationError(
                 f"migration reason must be one of {self.KNOWN_REASONS}, got {reason!r}"
             )
         self.object_key = object_key
@@ -72,7 +76,7 @@ class GetRequest:
         object_key: str,
         client_id: str,
         query_id: str,
-        completion: "Event",
+        completion: Event,
         issue_time: float = 0.0,
     ) -> None:
         self.request_id = next(_request_counter)

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.exceptions import ConfigurationError
+
 
 @dataclass
 class CostModel:
@@ -59,7 +61,7 @@ class CostModel:
             "tuple_scale",
         ):
             if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be non-negative")
+                raise ConfigurationError(f"{name} must be non-negative")
 
     # ------------------------------------------------------------------ #
     # Individual cost components
@@ -88,7 +90,7 @@ class CostModel:
         """Client-side overhead for issuing ``num_requests`` object requests."""
         return self.request_overhead_seconds * num_requests
 
-    def scaled(self, factor: float) -> "CostModel":
+    def scaled(self, factor: float) -> CostModel:
         """Return a copy with every CPU cost multiplied by ``factor``."""
         return CostModel(
             transfer_seconds_per_object=self.transfer_seconds_per_object,

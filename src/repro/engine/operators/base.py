@@ -23,7 +23,7 @@ class OperatorStats:
     tuples_probed: int = 0
     tuples_output: int = 0
 
-    def merge(self, other: "OperatorStats") -> None:
+    def merge(self, other: OperatorStats) -> None:
         """Add the counters of ``other`` into this object."""
         self.tuples_scanned += other.tuples_scanned
         self.tuples_built += other.tuples_built
@@ -72,6 +72,6 @@ class Operator:
             total.merge(child.collect_stats())
         return total
 
-    def children(self) -> List["Operator"]:
+    def children(self) -> List[Operator]:
         """Child operators (empty for leaves)."""
         return []

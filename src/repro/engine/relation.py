@@ -67,7 +67,7 @@ class Relation:
         rows: Sequence[Dict[str, object]],
         rows_per_segment: int,
         validate: bool = False,
-    ) -> "Relation":
+    ) -> Relation:
         """Split ``rows`` into segments of at most ``rows_per_segment`` rows.
 
         A relation always has at least one (possibly empty) segment so that

@@ -34,7 +34,7 @@ def stable_hash(text: str) -> int:
     sha256 rather than md5: identical everywhere Python runs, including
     FIPS-mode builds where md5 raises at call time.
     """
-    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    digest = hashlib.sha256(text.encode()).digest()
     return int.from_bytes(digest[:8], "big")
 
 

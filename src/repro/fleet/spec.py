@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import ScenarioError
 from repro.fleet.placement import DEFAULT_VIRTUAL_NODES, KNOWN_PLACEMENTS
@@ -240,6 +240,10 @@ class MigrationThrottle:
 #: Membership events accepted by ``FleetSpec.events``.
 MembershipEvent = (DeviceJoin, DeviceLeave, SetReplication)
 
+#: Static type of one ``FleetSpec.events`` entry (``_validate_events``
+#: still enforces membership at runtime, with a pointed error message).
+FleetEvent = Union[DeviceJoin, DeviceLeave, SetReplication]
+
 
 @dataclass(frozen=True)
 class FleetSpec:
@@ -253,7 +257,7 @@ class FleetSpec:
     failures: Tuple[DeviceFailure, ...] = ()
     #: Membership changes (joins / graceful leaves / replication-factor
     #: changes) fired at simulated times.
-    events: Tuple[object, ...] = ()
+    events: Tuple[FleetEvent, ...] = ()
     #: Per-device latency overrides (heterogeneous fleets).
     profiles: Tuple[DeviceProfile, ...] = ()
     #: Read-repair after fail-stop losses: with R >= 2, the lost replicas are
@@ -366,18 +370,18 @@ class FleetSpec:
         """
         if not self.failures and not self.events:
             return
-        changes = [
-            (failure.at_seconds, index, "failure", failure)
-            for index, failure in enumerate(self.failures)
-        ] + [
-            (
-                event.at_seconds,
-                len(self.failures) + index,
-                event.to_dict()["kind"],
-                event,
+        changes: List[Tuple[float, int, object, Any]] = []
+        for index, failure in enumerate(self.failures):
+            changes.append((failure.at_seconds, index, "failure", failure))
+        for index, event in enumerate(self.events):
+            changes.append(
+                (
+                    event.at_seconds,
+                    len(self.failures) + index,
+                    event.to_dict()["kind"],
+                    event,
+                )
             )
-            for index, event in enumerate(self.events)
-        ]
         serving = self.devices
         replication = self.replication
         failures_seen = 0

@@ -74,7 +74,7 @@ def run_uniform_cluster(
     eviction_policy: Optional[EvictionPolicy] = None,
     cost_model: Optional[CostModel] = None,
     enable_pruning: bool = True,
-    admission: Optional["AdmissionConfig"] = None,
+    admission: Optional[AdmissionConfig] = None,
 ) -> ClusterResult:
     """Run ``num_clients`` identical clients, all executing ``query``.
 
@@ -114,7 +114,7 @@ def _run_service(
     catalog: Catalog,
     config: ClusterConfig,
     scheduler: IOScheduler,
-    admission: Optional["AdmissionConfig"] = None,
+    admission: Optional[AdmissionConfig] = None,
 ) -> ClusterResult:
     """Run one batch experiment through the service façade."""
     # Deferred import: the façade package re-exports this harness.

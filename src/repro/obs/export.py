@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
 
@@ -37,7 +37,7 @@ TRACE_VERSION = 1
 TENANT_KINDS = ("query", "executor", "compute", "wait", "operator")
 
 
-def _device_roster(service: "StorageService") -> List[Tuple[str, object]]:
+def _device_roster(service: StorageService) -> List[Tuple[str, Any]]:
     """``(device_id, device)`` pairs in deterministic roster order."""
     if service.fleet is not None:
         return [
@@ -49,14 +49,14 @@ def _device_roster(service: "StorageService") -> List[Tuple[str, object]]:
 
 
 def _derive_device_spans(
-    service: "StorageService", next_id: int
+    service: StorageService, next_id: int
 ) -> List[Dict[str, Any]]:
     """Device service + inbox-wait spans, derived from the interval logs."""
     tracer = service.tracer
     spans: List[Dict[str, Any]] = []
 
     # GET inbox entries grouped by (device, query, key), in submission order.
-    submissions: Dict[Tuple[str, str, str], deque] = {}
+    submissions: Dict[Tuple[str, str, str], Deque[float]] = {}
     for at, query_id, object_key, device_id in tracer.io_submissions:
         submissions.setdefault((device_id, query_id, object_key), deque()).append(at)
 
@@ -120,7 +120,7 @@ def _derive_device_spans(
 
 
 def build_trace(
-    service: "StorageService", scenario: Optional[str] = None
+    service: StorageService, scenario: Optional[str] = None
 ) -> Dict[str, Any]:
     """Assemble the canonical trace document for a completed traced run."""
     tracer = service.tracer

@@ -20,11 +20,14 @@ registry snapshot is byte-identical across reruns of the same spec + seed.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type, TypeVar, Union, cast
 
 from repro.exceptions import ConfigurationError
 
 Number = Union[int, float]
+
+#: The concrete metric kinds `MetricsRegistry._get` can vend.
+_MetricT = TypeVar("_MetricT", "Counter", "Gauge", "Histogram")
 
 #: Default histogram bucket upper bounds, in simulated seconds.  Chosen to
 #: resolve both sub-second admission waits and multi-minute cold-storage
@@ -140,7 +143,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
 
-    def _get(self, name: str, kind: type, factory):
+    def _get(self, name: str, kind: Type[_MetricT], factory: Callable[[], _MetricT]) -> _MetricT:
         if not name or not isinstance(name, str):
             raise ConfigurationError(f"metric names must be non-empty strings, got {name!r}")
         metric = self._metrics.get(name)
@@ -152,7 +155,7 @@ class MetricsRegistry:
                 f"metric {name!r} is already registered as "
                 f"{type(metric).__name__}, not {kind.__name__}"
             )
-        return metric
+        return cast(_MetricT, metric)
 
     def counter(self, name: str, initial: Number = 0) -> Counter:
         """Get or create the counter ``name`` (``initial`` fixes int/float)."""

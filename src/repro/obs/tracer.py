@@ -85,7 +85,7 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, env: "Environment") -> None:
+    def __init__(self, env: Environment) -> None:
         self.env = env
         #: Every span ever started, in creation order (ids are 1-based).
         self.spans: List[Span] = []

@@ -185,7 +185,7 @@ def _render_membership(fleet) -> str:
 
 
 def _digest(report_json: str) -> str:
-    return hashlib.sha256(report_json.encode("utf-8")).hexdigest()
+    return hashlib.sha256(report_json.encode()).hexdigest()
 
 
 def _print_failure(outcome: ScenarioOutcome) -> None:

@@ -89,7 +89,7 @@ def check_conservation(cluster: ClusterLike, result: ClusterResult) -> None:
         1 for interval in cluster.device.busy_intervals if interval.kind == "transfer"
     )
     per_client_total = sum(cluster.device.stats.objects_per_client.values())
-    if not issued == served == received == transfers == per_client_total:
+    if len({issued, served, received, transfers, per_client_total}) != 1:
         raise InvariantViolation(
             "objects-served conservation broken: "
             f"issued={issued} served={served} received={received} "
@@ -123,7 +123,7 @@ def _check_fleet_conservation(cluster: ClusterLike, issued: int) -> None:
         1 for interval in fleet.busy_intervals if interval.kind == "transfer"
     )
     per_client_total = sum(stats.objects_per_client.values())
-    if not issued == served == transfers == per_client_total:
+    if len({issued, served, transfers, per_client_total}) != 1:
         raise InvariantViolation(
             "fleet objects-served conservation broken: "
             f"issued={issued} served={served} transfers={transfers} "

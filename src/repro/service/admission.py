@@ -81,7 +81,7 @@ class AdmissionTicket:
 
     def __init__(
         self,
-        event: Optional["Event"] = None,
+        event: Optional[Event] = None,
         error: Optional[AdmissionError] = None,
         queued: bool = False,
     ):
@@ -115,7 +115,7 @@ class AdmissionController:
 
     def __init__(
         self,
-        env: "Environment",
+        env: Environment,
         config: AdmissionConfig,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
@@ -125,7 +125,7 @@ class AdmissionController:
         self._in_flight_total = 0
         self._in_flight_by_tenant: Dict[str, int] = {}
         #: FIFO of (tenant, grant event, enqueue time).
-        self._waiting: Deque[Tuple[str, "Event", float]] = deque()
+        self._waiting: Deque[Tuple[str, Event, float]] = deque()
         self._counters: Dict[str, _TenantCounters] = {}
         #: Queue-delay samples per tenant, keyed in first-grant order — the
         #: flattening order the report's aggregate percentiles depend on.
@@ -219,7 +219,7 @@ class AdmissionController:
 
     def _grant_waiters(self) -> None:
         """Grant queued requests in FIFO order, skipping capped tenants."""
-        still_waiting: Deque[Tuple[str, "Event", float]] = deque()
+        still_waiting: Deque[Tuple[str, Event, float]] = deque()
         while self._waiting:
             tenant_id, grant, enqueued_at = self._waiting.popleft()
             if self._has_capacity(tenant_id):

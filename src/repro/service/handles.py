@@ -29,7 +29,7 @@ STATUS_REJECTED = "rejected"  #: refused by admission control
 class QueryHandle:
     """Tracks one submitted query from admission to completion."""
 
-    def __init__(self, query: "Query", tenant_id: str, submitted_at: Optional[float]) -> None:
+    def __init__(self, query: Query, tenant_id: str, submitted_at: Optional[float]) -> None:
         self.query = query
         self.tenant_id = tenant_id
         self.status = STATUS_PENDING
@@ -42,7 +42,7 @@ class QueryHandle:
         self.started_at: Optional[float] = None
         #: When the query finished or was rejected.
         self.finished_at: Optional[float] = None
-        self._result: Optional["QueryResult"] = None
+        self._result: Optional[QueryResult] = None
         self._error: Optional[AdmissionError] = None
 
     # ------------------------------------------------------------------ #
@@ -74,7 +74,7 @@ class QueryHandle:
             return 0.0
         return self.finished_at - self.submitted_at
 
-    def result(self) -> "QueryResult":
+    def result(self) -> QueryResult:
         """The executor's measurement, once the simulation has run.
 
         Raises :class:`~repro.exceptions.AdmissionError` if the query was
@@ -132,7 +132,7 @@ class QueryHandle:
         self.status = STATUS_RUNNING
         self.started_at = now
 
-    def _mark_finished(self, result: "QueryResult", now: float) -> None:
+    def _mark_finished(self, result: QueryResult, now: float) -> None:
         self._check_transition(STATUS_FINISHED, (STATUS_RUNNING,), now, self.started_at)
         self.status = STATUS_FINISHED
         self.finished_at = now

@@ -55,7 +55,7 @@ class StorageService:
 
     def __init__(
         self,
-        spec_or_config: Union["ClusterConfig", object],
+        spec_or_config: Union[ClusterConfig, object],
         *,
         catalog: Optional[Catalog] = None,
         scheduler: Optional[IOScheduler] = None,

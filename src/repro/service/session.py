@@ -38,7 +38,7 @@ class Session:
 
     def __init__(
         self,
-        service: "StorageService",
+        service: StorageService,
         tenant_id: str,
         mode: str = MODE_SKIPPER,
         cache_capacity: int = 30,
@@ -81,7 +81,7 @@ class Session:
         """Whether :meth:`close` has been called."""
         return self._closed
 
-    def submit(self, query: "Query", at: Optional[float] = None) -> QueryHandle:
+    def submit(self, query: Query, at: Optional[float] = None) -> QueryHandle:
         """Hand ``query`` to the service; returns its handle immediately.
 
         ``at`` defers the submission to an absolute simulated time (it must

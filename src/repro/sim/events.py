@@ -19,14 +19,14 @@ class Event:
     event was triggered.
     """
 
-    def __init__(self, env: "Environment", name: str = "") -> None:
+    def __init__(self, env: Environment, name: str = "") -> None:
         self.env = env
         self.name = name
         self._triggered = False
         self._dispatched = False
         self._value: Any = None
         self._exception: Optional[BaseException] = None
-        self._callbacks: List[Callable[["Event"], None]] = []
+        self._callbacks: List[Callable[[Event], None]] = []
 
     @property
     def triggered(self) -> bool:
@@ -43,7 +43,7 @@ class Event:
         """Exception the event was failed with, if any."""
         return self._exception
 
-    def succeed(self, value: Any = None) -> "Event":
+    def succeed(self, value: Any = None) -> Event:
         """Trigger the event with ``value`` and schedule waiter wake-ups."""
         if self._triggered:
             raise SimulationError(f"event {self.name!r} has already been triggered")
@@ -52,7 +52,7 @@ class Event:
         self.env._schedule_event(self)
         return self
 
-    def fail(self, exception: BaseException) -> "Event":
+    def fail(self, exception: BaseException) -> Event:
         """Trigger the event with an exception to be raised in waiters."""
         if self._triggered:
             raise SimulationError(f"event {self.name!r} has already been triggered")
@@ -61,7 +61,7 @@ class Event:
         self.env._schedule_event(self)
         return self
 
-    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+    def add_callback(self, callback: Callable[[Event], None]) -> None:
         """Register ``callback`` to run when the event fires.
 
         If the event already fired, the callback runs when the scheduler
@@ -88,7 +88,7 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically ``delay`` time units in the future."""
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+    def __init__(self, env: Environment, delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"timeout delay must be >= 0, got {delay}")
         super().__init__(env, name=f"timeout({delay})")
@@ -109,7 +109,7 @@ class AllOf(Event):
     in deterministic order.
     """
 
-    def __init__(self, env: "Environment", events: List[Event]) -> None:
+    def __init__(self, env: Environment, events: List[Event]) -> None:
         super().__init__(env, name=f"all_of({len(events)})")
         self._pending = len(events)
         self._results: List[Any] = [None] * len(events)
@@ -143,7 +143,7 @@ class AnyOf(Event):
     immediately.
     """
 
-    def __init__(self, env: "Environment", events: List[Event]) -> None:
+    def __init__(self, env: Environment, events: List[Event]) -> None:
         super().__init__(env, name=f"any_of({len(events)})")
         if not events:
             raise SimulationError("AnyOf requires at least one event")

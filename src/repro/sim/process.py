@@ -21,7 +21,7 @@ class Process(Event):
     other processes simply by yielding them.
     """
 
-    def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = "") -> None:
+    def __init__(self, env: Environment, generator: ProcessGenerator, name: str = "") -> None:
         if not hasattr(generator, "send"):
             raise SimulationError(
                 "Process requires a generator; did you forget to call the process function?"
@@ -50,7 +50,7 @@ class Process(Event):
         except StopIteration as stop:
             self.succeed(stop.value)
             return
-        except BaseException as exc:  # propagate failures to waiters
+        except BaseException as exc:  # repro: noqa[RPR103] reason=a crashing process must fail its event so waiters see the error instead of hanging the run
             self.fail(exc)
             return
 

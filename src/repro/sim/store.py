@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import contextlib
 from collections import deque
-from typing import TYPE_CHECKING, Any, Deque
+from typing import TYPE_CHECKING, Any, Deque, Tuple
 
 from repro.sim.events import Event
 
@@ -20,7 +21,7 @@ class Store:
     the event queue, preserving deterministic ordering).
     """
 
-    def __init__(self, env: "Environment", name: str = "store") -> None:
+    def __init__(self, env: Environment, name: str = "store") -> None:
         self.env = env
         self.name = name
         self._items: Deque[Any] = deque()
@@ -30,7 +31,7 @@ class Store:
         return len(self._items)
 
     @property
-    def items(self) -> tuple:
+    def items(self) -> Tuple[Any, ...]:
         """Snapshot of queued items (oldest first)."""
         return tuple(self._items)
 
@@ -66,7 +67,5 @@ class Store:
         the loser.  Cancelling an event that already fired (or was never a
         getter of this store) is a no-op — the caller owns its value.
         """
-        try:
+        with contextlib.suppress(ValueError):
             self._getters.remove(event)
-        except ValueError:
-            pass

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.engine import CostModel, InMemoryExecutor, Planner
+from repro.exceptions import ConfigurationError, QueryError
 from repro.engine.executor import canonical_rows
 from repro.engine.query import AggregateSpec, JoinCondition, Query
 from repro.workloads import tpch
@@ -57,7 +58,7 @@ class TestPlanner:
             group_by=["p_brand"],
             aggregates=[AggregateSpec("count", None, "cnt")],
         )
-        with pytest.raises(Exception):
+        with pytest.raises(QueryError):
             Planner(tiny_tpch_catalog).plan(query)
 
     def test_plan_is_deterministic(self, tiny_tpch_catalog):
@@ -107,7 +108,7 @@ class TestCostModel:
         assert model.request_overhead(10) == pytest.approx(10 * model.request_overhead_seconds)
 
     def test_negative_costs_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             CostModel(scan_seconds_per_tuple=-1.0)
 
     def test_scaled_returns_proportional_copy(self):
