@@ -5,9 +5,9 @@ pin *behaviour*, byte for byte, not to stress the event loop.  This package
 holds the complement: a pinned set of **macro** scenarios (scaled-up
 variants of the golden workload shapes) that run long enough for wall time
 to mean something, plus the measurement loop that times them and writes a
-machine-readable summary to ``BENCH_6.json`` at the repository root.
+machine-readable summary to ``BENCH_9.json`` at the repository root.
 
-Three macro shapes, mirroring where profiles show the simulator spends its
+Five macro shapes, mirroring where profiles show the simulator spends its
 time:
 
 * ``macro-sf-heavy`` — a scale-factor-heavy single-device run (four tenants
@@ -20,17 +20,29 @@ time:
 * ``macro-throttled-rebalance`` — a join under bursty load with migration
   I/O throttled by a per-device token bucket: exercises the rebalance path
   where foreground and background I/O interleave.
+* ``macro-million-keys`` — eight single-table Q6 tenants over a 125k-segment
+  lineitem put one million objects on a 32-device R=2 fleet with a join
+  mid-run, each device running the shipping-firmware slack-FCFS scheduler:
+  dominated by bulk placement, the per-device scheduler pools (and the
+  per-decision lookups over them) and the request fan-out.
+* ``macro-sf-1000`` — one TPC-H Q5 tenant at SF-1000 (~177k subplans, all
+  ~952 objects cached): dominated by segment filtering, hash-table builds
+  and the n-ary join.
 
 Each measurement separates the build / run / report phases, counts events
 actually *dispatched* by the simulation core, and derives events/second
 from the run phase alone.  ``--smoke`` shrinks every scenario to seconds
 for CI; the full suite is for before/after comparisons when touching the
-hot paths.  Numbers in a committed ``BENCH_6.json`` are machine-dependent:
+hot paths.  Numbers in a committed ``BENCH_9.json`` are machine-dependent:
 compare ratios measured on one machine, never absolute times across two.
+``events_dispatched`` and ``simulated_time`` however are deterministic, so
+the committed document doubles as a drift detector: ``--check`` re-runs the
+suite and fails on any behavioural divergence from the committed numbers.
 """
 
 from __future__ import annotations
 
+import cProfile
 import json
 import platform
 import resource
@@ -51,10 +63,10 @@ from repro.scenarios.arrivals import BurstyArrival
 from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.spec import ScenarioSpec, uniform_tenants
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
-#: Committed output file, numbered by the PR that introduced the harness.
-DEFAULT_OUTPUT_NAME = "BENCH_6.json"
+#: Committed output file, numbered by the PR that last re-measured it.
+DEFAULT_OUTPUT_NAME = "BENCH_9.json"
 
 
 def repo_root() -> Path:
@@ -102,6 +114,30 @@ def macro_specs(smoke: bool = False) -> List[ScenarioSpec]:
                     events=(DeviceJoin(device=3, at_seconds=80.0),),
                     throttle=MigrationThrottle(objects_per_second=0.1),
                 ),
+                seed=42,
+            ),
+            ScenarioSpec(
+                name="macro-million-keys",
+                description="Smoke-sized key-population run: four Q6 tenants "
+                "at SF-100 on an eight-device R=2 fleet of slack-FCFS "
+                "devices with one join.",
+                tenants=uniform_tenants(4, "tpch:q6", cache_capacity=16),
+                scale="sf100",
+                scheduler="slack-fcfs",
+                scheduler_param=4.0,
+                fleet=FleetSpec(
+                    devices=8,
+                    replication=2,
+                    events=(DeviceJoin(device=8, at_seconds=120.0),),
+                ),
+                seed=42,
+            ),
+            ScenarioSpec(
+                name="macro-sf-1000",
+                description="Smoke-sized engine-depth run: one TPC-H Q5 "
+                "tenant at the small scale with everything cached.",
+                tenants=uniform_tenants(1, "tpch:q5", cache_capacity=256),
+                scale="small",
                 seed=42,
             ),
         ]
@@ -162,6 +198,35 @@ def macro_specs(smoke: bool = False) -> List[ScenarioSpec]:
             ),
             seed=42,
         ),
+        ScenarioSpec(
+            name="macro-million-keys",
+            description="Key-population macro: eight Q6 tenants over a "
+            "125k-segment lineitem put one million objects on a "
+            "32-device R=2 fleet, with a join landing mid-run.  Devices "
+            "run the shipping-firmware slack-FCFS scheduler (slack 4), so "
+            "bulk placement, the per-device pending pools and scheduling "
+            "decisions over them, and the request fan-out dominate.",
+            tenants=uniform_tenants(8, "tpch:q6", cache_capacity=64),
+            scale="mkeys",
+            scheduler="slack-fcfs",
+            scheduler_param=4.0,
+            fleet=FleetSpec(
+                devices=32,
+                replication=2,
+                events=(DeviceJoin(device=32, at_seconds=600.0),),
+            ),
+            seed=42,
+        ),
+        ScenarioSpec(
+            name="macro-sf-1000",
+            description="Engine-depth macro: one TPC-H Q5 tenant at "
+            "SF-1000 (~177k subplans over ~952 objects, all cached) — "
+            "segment filtering, hash-table builds and the n-ary join "
+            "dominate.",
+            tenants=uniform_tenants(1, "tpch:q5", cache_capacity=1024),
+            scale="sf1000",
+            seed=42,
+        ),
     ]
 
 
@@ -191,7 +256,9 @@ def _event_count(env: Any) -> int:
     return int(getattr(env, "_sequence", 0))
 
 
-def run_one(spec: ScenarioSpec, trace: bool = False) -> Dict[str, Any]:
+def run_one(
+    spec: ScenarioSpec, trace: bool = False, profile_dir: Optional[Path] = None
+) -> Dict[str, Any]:
     """Run one macro scenario and measure its phases.
 
     Events/second is computed over the run phase only: building catalogs
@@ -199,10 +266,25 @@ def run_one(spec: ScenarioSpec, trace: bool = False) -> Dict[str, Any]:
     events/sec figure is meant to track the simulation core.  With
     ``trace`` the run also records a full trace (the entry reports the span
     count), which doubles as a measurement of tracing overhead at scale.
+    With ``profile_dir`` the whole scenario runs under :mod:`cProfile` and
+    the stats are dumped to ``<profile_dir>/<name>.pstats`` — wall times
+    then include the profiler's overhead and are not comparable to
+    unprofiled runs.
+
+    ``peak_rss_kb_delta`` is the growth of the *process-wide* peak RSS over
+    this scenario.  ``ru_maxrss`` is monotonic, so a scenario that fits
+    inside a high-water mark set by an earlier one reports 0 — the figure
+    is a lower bound on the scenario's footprint, meaningful mainly for the
+    scenario that sets the suite's peak.
     """
     if trace and not spec.trace:
         spec = replace(spec, trace=True)
     runner = ScenarioRunner(check=False)
+    rss_before = peak_rss_kb()
+    profiler: Optional[cProfile.Profile] = None
+    if profile_dir is not None:
+        profiler = cProfile.Profile()
+        profiler.enable()
     build_start = time.perf_counter()
     service = runner.build_service(spec)
     run_start = time.perf_counter()
@@ -213,6 +295,8 @@ def run_one(spec: ScenarioSpec, trace: bool = False) -> Dict[str, Any]:
     # helper is the exact code path ScenarioRunner.run() takes.
     report = runner._build_report(spec, service, result, [])
     end = time.perf_counter()
+    if profiler is not None:
+        profiler.disable()
     events = _event_count(service.env)
     run_seconds = report_start - run_start
     entry = {
@@ -227,25 +311,56 @@ def run_one(spec: ScenarioSpec, trace: bool = False) -> Dict[str, Any]:
         "queries_run": sum(
             client.queries_run for client in report.clients.values()
         ),
-        "peak_rss_kb_after": peak_rss_kb(),
+        "peak_rss_kb_delta": peak_rss_kb() - rss_before,
     }
     if trace:
         from repro.obs.export import build_trace
 
         entry["trace_spans"] = len(build_trace(service, scenario=spec.name)["spans"])
+    if profiler is not None and profile_dir is not None:
+        profile_dir.mkdir(parents=True, exist_ok=True)
+        stats_path = profile_dir / f"{spec.name}.pstats"
+        profiler.dump_stats(stats_path)
+        entry["profile"] = str(stats_path)
     return entry
 
 
-def run_benchmarks(smoke: bool = False, trace: bool = False) -> Dict[str, Any]:
-    """Run the macro suite and assemble the ``BENCH_6.json`` document."""
+def smoke_determinism() -> Dict[str, Dict[str, Any]]:
+    """Per-scenario deterministic outcomes of the smoke-sized suite.
+
+    Embedded in the committed full document so CI's smoke job has pinned
+    ``events_dispatched`` / ``simulated_time`` values to diff against —
+    both are machine-independent, unlike every wall-clock figure.
+    """
+    outcomes: Dict[str, Dict[str, Any]] = {}
+    for spec in macro_specs(smoke=True):
+        entry = run_one(spec)
+        outcomes[spec.name] = {
+            "events_dispatched": entry["events_dispatched"],
+            "simulated_time": entry["simulated_time"],
+        }
+    return outcomes
+
+
+def run_benchmarks(
+    smoke: bool = False,
+    trace: bool = False,
+    profile_dir: Optional[Path] = None,
+) -> Dict[str, Any]:
+    """Run the macro suite and assemble the ``BENCH_9.json`` document.
+
+    Full-mode documents additionally embed the smoke suite's deterministic
+    outcomes (``smoke_determinism``), so a committed full document is the
+    single drift reference for both CI's smoke runs and full re-runs.
+    """
     scenarios: Dict[str, Dict[str, Any]] = {}
     for spec in macro_specs(smoke):
-        scenarios[spec.name] = run_one(spec, trace=trace)
+        scenarios[spec.name] = run_one(spec, trace=trace, profile_dir=profile_dir)
     total_run = sum(entry["run_seconds"] for entry in scenarios.values())
     total_events = sum(entry["events_dispatched"] for entry in scenarios.values())
-    return {
+    document = {
         "schema_version": BENCH_SCHEMA_VERSION,
-        "benchmark": "BENCH_6",
+        "benchmark": "BENCH_9",
         "mode": "smoke" if smoke else "full",
         "traced": bool(trace),
         "python": platform.python_version(),
@@ -263,6 +378,46 @@ def run_benchmarks(smoke: bool = False, trace: bool = False) -> Dict[str, Any]:
         },
         "peak_rss_kb": peak_rss_kb(),
     }
+    if not smoke:
+        document["smoke_determinism"] = smoke_determinism()
+    return document
+
+
+def check_determinism(
+    document: Mapping[str, Any], committed: Mapping[str, Any]
+) -> List[str]:
+    """Diff a fresh run's deterministic outcomes against a committed doc.
+
+    Compares ``events_dispatched`` and ``simulated_time`` per scenario —
+    the two machine-independent figures the harness records — and returns
+    one message per divergence (empty list = no drift).  Smoke documents
+    are checked against the committed ``smoke_determinism`` section, full
+    documents against the committed scenario entries themselves.
+    """
+    if document.get("mode") == "smoke":
+        expected = committed.get("smoke_determinism", {})
+        source = "smoke_determinism"
+    else:
+        expected = committed.get("scenarios", {})
+        source = "scenarios"
+    problems: List[str] = []
+    scenarios = document.get("scenarios", {})
+    for name in sorted(set(scenarios) | set(expected)):
+        entry = scenarios.get(name)
+        pinned = expected.get(name)
+        if entry is None:
+            problems.append(f"{name}: pinned in {source} but not run")
+            continue
+        if pinned is None:
+            problems.append(f"{name}: ran but has no pinned entry in {source}")
+            continue
+        for key in ("events_dispatched", "simulated_time"):
+            if entry.get(key) != pinned.get(key):
+                problems.append(
+                    f"{name}: {key} drifted from {pinned.get(key)!r} "
+                    f"to {entry.get(key)!r}"
+                )
+    return problems
 
 
 def attach_baseline(
@@ -271,18 +426,26 @@ def attach_baseline(
     """Embed a prior run's numbers plus per-scenario speedup ratios.
 
     ``baseline`` is a document produced by the same harness (typically run
-    against a pre-change checkout); speedups are events/sec ratios, the
-    core-loop metric the harness exists to guard.
+    against a pre-change checkout).  Two ratio families are reported:
+    events/sec over the run phase (the core-loop metric) and build+run wall
+    time (which additionally credits faster catalog/placement/router
+    construction — the figure that matters for the scale-up scenarios).
     """
     speedups: Dict[str, float] = {}
+    build_run_speedups: Dict[str, float] = {}
     base_scenarios = baseline.get("scenarios", {})
     for name, entry in document["scenarios"].items():
         base = base_scenarios.get(name)
-        if not base or not base.get("events_per_second"):
+        if not base:
             continue
-        speedups[name] = round(
-            entry["events_per_second"] / base["events_per_second"], 2
-        )
+        if base.get("events_per_second"):
+            speedups[name] = round(
+                entry["events_per_second"] / base["events_per_second"], 2
+            )
+        base_build_run = base.get("build_seconds", 0.0) + base.get("run_seconds", 0.0)
+        build_run = entry["build_seconds"] + entry["run_seconds"]
+        if base_build_run and build_run:
+            build_run_speedups[name] = round(base_build_run / build_run, 2)
     document[label] = {
         "label": str(baseline.get("label", "pre-change")),
         "totals": baseline.get("totals", {}),
@@ -291,6 +454,7 @@ def attach_baseline(
                 key: base[key]
                 for key in (
                     "wall_seconds",
+                    "build_seconds",
                     "run_seconds",
                     "events_dispatched",
                     "events_per_second",
@@ -300,6 +464,7 @@ def attach_baseline(
             for name, base in base_scenarios.items()
         },
         "speedup_events_per_second": speedups,
+        "speedup_build_run_seconds": build_run_speedups,
     }
     return document
 

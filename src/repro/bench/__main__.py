@@ -1,14 +1,21 @@
 """CLI for the macro-benchmark harness.
 
-Run the pinned macro scenarios and write ``BENCH_6.json``::
+Run the pinned macro scenarios and write ``BENCH_9.json``::
 
     python -m repro.bench                 # full suite (minutes)
     python -m repro.bench --smoke         # CI-sized (seconds)
     python -m repro.bench --baseline old.json   # embed speedup ratios
+    python -m repro.bench --profile prof/       # per-scenario .pstats dumps
+    python -m repro.bench --smoke --check       # diff vs committed document
 
 ``--baseline`` takes a document previously written by this harness
 (typically produced from a pre-change checkout) and embeds its numbers and
-per-scenario events/sec speedup ratios in the output.
+per-scenario speedup ratios in the output.  ``--profile DIR`` runs every
+scenario under cProfile and dumps ``DIR/<scenario>.pstats`` files (wall
+times are then inflated by the profiler).  ``--check [PATH]`` diffs the
+run's deterministic outcomes (``events_dispatched``, ``simulated_time``)
+against a committed document (default: the repo-root ``BENCH_9.json``) and
+exits non-zero on any drift — wall times are never compared.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from pathlib import Path
 from repro.bench import (
     DEFAULT_OUTPUT_NAME,
     attach_baseline,
+    check_determinism,
     repo_root,
     run_benchmarks,
     write_document,
@@ -30,7 +38,7 @@ from repro.bench import (
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Run the pinned macro benchmarks and write BENCH_6.json.",
+        description="Run the pinned macro benchmarks and write BENCH_9.json.",
     )
     parser.add_argument(
         "--smoke",
@@ -55,12 +63,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every macro scenario with tracing on (entries report "
         "their span counts; measures tracing overhead at scale)",
     )
+    parser.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="run each scenario under cProfile and dump DIR/<scenario>.pstats "
+        "(wall times are then inflated by the profiler)",
+    )
+    parser.add_argument(
+        "--check",
+        nargs="?",
+        type=Path,
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="diff events_dispatched/simulated_time per scenario against a "
+        "committed BENCH document (default: the repo-root "
+        f"{DEFAULT_OUTPUT_NAME}) and exit non-zero on drift",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     arguments = build_parser().parse_args(argv)
-    document = run_benchmarks(smoke=arguments.smoke, trace=arguments.trace)
+    document = run_benchmarks(
+        smoke=arguments.smoke,
+        trace=arguments.trace,
+        profile_dir=arguments.profile,
+    )
     if arguments.baseline is not None:
         baseline = json.loads(arguments.baseline.read_text())
         attach_baseline(document, baseline)
@@ -82,6 +113,27 @@ def main(argv=None) -> int:
     speedups = document.get("baseline", {}).get("speedup_events_per_second", {})
     for name, ratio in speedups.items():
         print(f"  speedup {name}: {ratio:.2f}x events/sec vs baseline")
+    build_run = document.get("baseline", {}).get("speedup_build_run_seconds", {})
+    for name, ratio in build_run.items():
+        print(f"  speedup {name}: {ratio:.2f}x build+run wall time vs baseline")
+    if arguments.check is not None:
+        committed_path = (
+            repo_root() / DEFAULT_OUTPUT_NAME
+            if arguments.check is True
+            else arguments.check
+        )
+        committed = json.loads(Path(committed_path).read_text())
+        problems = check_determinism(document, committed)
+        if problems:
+            for problem in problems:
+                print(f"DRIFT {problem}", file=sys.stderr)
+            print(
+                f"determinism check failed against {committed_path}: "
+                f"{len(problems)} divergence(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"determinism check ok against {committed_path}")
     return 0
 
 

@@ -166,6 +166,81 @@ def attribute_waiting(
     )
 
 
+def attribute_waiting_batch(
+    blocked_interval_lists: Sequence[Sequence[Tuple[float, float]]],
+    busy_intervals: Sequence[BusyInterval],
+    processing_times: Sequence[float],
+    *,
+    span_index: Optional[Tuple[MergedSpans, MergedSpans]] = None,
+) -> List[ExecutionBreakdown]:
+    """:func:`attribute_waiting` for many queries in one sorted sweep.
+
+    All queries' merged blocked intervals are sorted by start once and walked
+    against the span index with a single forward-only pointer per span union,
+    instead of one bisect window per query call.  The result is bit-identical
+    to calling :func:`attribute_waiting` per query: each query's intervals
+    keep their relative order under the stable sort (they are disjoint and
+    ascending), so every per-query float accumulates in exactly the same
+    sequence, and the forward pointer lands where ``bisect_right`` would
+    because the sweep's window starts are non-decreasing.
+    """
+    if span_index is None:
+        span_index = busy_span_index(busy_intervals)
+    busy_spans, transfer_spans = span_index
+    merged_per_query = [
+        merge_intervals(blocked) for blocked in blocked_interval_lists
+    ]
+    tagged = [
+        (start, end, query)
+        for query, merged in enumerate(merged_per_query)
+        for start, end in merged
+    ]
+    tagged.sort(key=lambda item: item[0])
+
+    count = len(merged_per_query)
+    totals = [0.0] * count
+    switches = [0.0] * count
+    transfers = [0.0] * count
+    b_spans, b_starts, b_ends = busy_spans.spans, busy_spans._starts, busy_spans._ends
+    t_spans, t_starts, t_ends = (
+        transfer_spans.spans,
+        transfer_spans._starts,
+        transfer_spans._ends,
+    )
+    b_size, t_size = len(b_spans), len(t_spans)
+    b_low = 0
+    t_low = 0
+    for start, end, query in tagged:
+        while b_low < b_size and b_ends[b_low] <= start:
+            b_low += 1
+        covered = 0.0
+        for index in range(b_low, bisect_left(b_starts, end, b_low)):
+            span_start, span_end = b_spans[index]
+            covered += (span_end if span_end < end else end) - (
+                span_start if span_start > start else start
+            )
+        while t_low < t_size and t_ends[t_low] <= start:
+            t_low += 1
+        transferring = 0.0
+        for index in range(t_low, bisect_left(t_starts, end, t_low)):
+            span_start, span_end = t_spans[index]
+            transferring += (span_end if span_end < end else end) - (
+                span_start if span_start > start else start
+            )
+        totals[query] += end - start
+        transfers[query] += transferring
+        switches[query] += covered - transferring
+    return [
+        ExecutionBreakdown(
+            processing=processing_times[query],
+            switch_wait=switches[query],
+            transfer_wait=transfers[query],
+            other_wait=max(0.0, totals[query] - switches[query] - transfers[query]),
+        )
+        for query in range(count)
+    ]
+
+
 def stretches(observed_times: Iterable[float], ideal_time: float) -> List[float]:
     """Per-query stretch values: observed execution time / ideal time."""
     if ideal_time <= 0:

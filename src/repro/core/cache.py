@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, Iterable, KeysView, List, Optional, Set
 
 from repro.core.subplan import SubplanTracker
 from repro.exceptions import CacheError
@@ -60,15 +60,26 @@ class MaxProgressEviction(EvictionPolicy):
     name = "max-progress"
 
     def choose_victim(self, cache: ObjectCache, new_object: str, tracker: SubplanTracker) -> str:
-        cached_ids = cache.segment_ids()
+        # The key ends with the (unique) segment id, so ``min`` over any
+        # iteration order returns the same victim a pre-sorted scan would.
+        cached_ids = cache.ids_view()
         executable = tracker.executable_counts(cached_ids, new_object)
+        pending = tracker.pending_counts(cached_ids)
+        if any(executable.values()):
+            return min(
+                cached_ids,
+                key=lambda segment_id: (
+                    executable[segment_id],
+                    pending[segment_id],
+                    segment_id,
+                ),
+            )
+        # Nothing becomes runnable whichever way we evict (the common case
+        # while a large key population streams in): the first key component
+        # is uniformly zero, so drop it.
         return min(
-            sorted(cached_ids),
-            key=lambda segment_id: (
-                executable.get(segment_id, 0),
-                tracker.pending_count_for(segment_id),
-                segment_id,
-            ),
+            cached_ids,
+            key=lambda segment_id: (pending[segment_id], segment_id),
         )
 
 
@@ -78,10 +89,11 @@ class MaxPendingSubplansEviction(EvictionPolicy):
     name = "max-pending-subplans"
 
     def choose_victim(self, cache: ObjectCache, new_object: str, tracker: SubplanTracker) -> str:
-        cached_ids = cache.segment_ids()
+        cached_ids = cache.ids_view()
+        pending = tracker.pending_counts(cached_ids)
         return min(
-            sorted(cached_ids),
-            key=lambda segment_id: (tracker.pending_count_for(segment_id), segment_id),
+            cached_ids,
+            key=lambda segment_id: (pending[segment_id], segment_id),
         )
 
 
@@ -142,8 +154,17 @@ class ObjectCache:
         return len(self._contents) >= self.capacity
 
     def segment_ids(self) -> Set[str]:
-        """Segment ids currently cached."""
+        """Segment ids currently cached (a fresh, independent set)."""
         return set(self._contents)
+
+    def ids_view(self) -> KeysView[str]:
+        """Live view of the cached segment ids (no copy).
+
+        Supports ``in`` and iteration like :meth:`segment_ids` but without
+        materialising a set per call — the hot arrival/eviction paths ask
+        for the cache contents two or three times per arriving object.
+        """
+        return self._contents.keys()
 
     def objects(self) -> List[CachedObject]:
         """Cached entries (deterministic order by segment id)."""
@@ -158,6 +179,25 @@ class ObjectCache:
         entry.last_used = next(self._clock)
         self.num_hits += 1
         return entry
+
+    def payloads(self, segment_ids: Iterable[str]) -> List[Any]:
+        """Payloads for ``segment_ids``, touching entries exactly like
+        :meth:`get` — same recency ticks in the same order, same hit count —
+        but in one call for a whole subplan's segment list.
+        """
+        contents = self._contents
+        clock = self._clock
+        result: List[Any] = []
+        append = result.append
+        for segment_id in segment_ids:
+            try:
+                entry = contents[segment_id]
+            except KeyError:
+                raise CacheError(f"object {segment_id!r} is not cached") from None
+            entry.last_used = next(clock)
+            append(entry.payload)
+        self.num_hits += len(result)
+        return result
 
     def peek(self, segment_id: str) -> Optional[CachedObject]:
         """Return the cached entry without touching it, or ``None``."""

@@ -19,9 +19,10 @@ import itertools
 from typing import List, Sequence, Tuple
 
 from repro.csd.backend import StorageBackend
-from repro.csd.object_store import make_object_key
 from repro.csd.request import GetRequest
+from repro.exceptions import StorageError
 from repro.sim import Environment, Store
+from repro.sim.events import Event
 
 
 class ClientProxy:
@@ -37,6 +38,8 @@ class ClientProxy:
         self.requests_completed = 0
         self._query_counter = itertools.count()
         self._outstanding: List[GetRequest] = []
+        #: Length of the ``tenant/`` prefix of this client's object keys.
+        self._prefix_length = len(client_id) + 1
 
     def new_query_id(self, query_name: str) -> str:
         """Mint a query identifier used to tag all requests of one query."""
@@ -50,28 +53,35 @@ class ClientProxy:
         that is the whole point of CSD-driven execution.
         """
         issued: List[GetRequest] = []
+        # Hoisted locals and inlined helpers: this loop issues every object
+        # of a query in one burst (a million iterations at the largest
+        # scales), so attribute lookups, wrapper calls and per-request
+        # closures are paid once instead of per request.  The key prefix is
+        # validated once here, matching ``make_object_key`` exactly.
+        client_id = self.client_id
+        if not client_id or "/" in client_id:
+            raise StorageError(f"invalid tenant name: {client_id!r}")
+        env = self.env
+        on_complete = self._on_complete
+        submit = self.device.submit
+        issued_append = issued.append
         for segment_id in segment_ids:
-            object_key = make_object_key(self.client_id, segment_id)
-            completion = self.env.event(name=f"{self.client_id}:{segment_id}")
-            completion.add_callback(self._make_arrival_callback(segment_id))
-            request = GetRequest(
-                object_key=object_key,
-                client_id=self.client_id,
-                query_id=query_id,
-                completion=completion,
-            )
-            self.device.submit(request)
-            issued.append(request)
-            self._outstanding.append(request)
+            object_key = f"{client_id}/{segment_id}"
+            completion = Event(env, object_key)
+            completion._callbacks.append(on_complete)
+            request = GetRequest(object_key, client_id, query_id, completion)
+            submit(request)
+            issued_append(request)
+        self._outstanding.extend(issued)
         self.requests_issued += len(issued)
         return issued
 
-    def _make_arrival_callback(self, segment_id: str):
-        def _on_complete(event) -> None:
-            self.requests_completed += 1
-            self.arrivals.put((segment_id, event.value))
-
-        return _on_complete
+    def _on_complete(self, event: Event) -> None:
+        """Deliver a completed GET: the segment id is the key minus the
+        ``tenant/`` prefix (one shared callback instead of a closure per
+        request)."""
+        self.requests_completed += 1
+        self.arrivals.put((event.name[self._prefix_length :], event.value))
 
     def receive(self):
         """Event firing with the next ``(segment_id, payload)`` delivery."""

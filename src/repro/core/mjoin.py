@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.cache import ObjectCache
 from repro.core.njoin import NAryJoin, PreparedSegment, prepare_segment
-from repro.core.subplan import SubplanTracker
+from repro.core.subplan import SubplanTracker, make_tracker
 from repro.engine.catalog import Catalog
 from repro.engine.operators.aggregate import AggregateState
 from repro.engine.operators.base import OperatorStats, Row
@@ -62,7 +62,7 @@ class MJoinStateManager:
                 f"cache capacity {cache.capacity} is smaller than the number of joined "
                 f"relations ({len(query.tables)}); no subplan could ever run"
             )
-        self.tracker = SubplanTracker(query, catalog, table_order=self.plan.join_order)
+        self.tracker = make_tracker(query, catalog, table_order=self.plan.join_order)
         self.njoin = NAryJoin(query, self.plan)
         self.aggregate = AggregateState(query.group_by, query.aggregates)
         #: Objects found to contribute nothing (empty after filtering).
@@ -127,8 +127,7 @@ class MJoinStateManager:
         prepared = prepare_segment(segment, self.query.filter_for(table_name), segment_id=segment_id)
 
         if self.enable_pruning and prepared.num_rows == 0:
-            pruned = self.tracker.prune_object(segment_id)
-            outcome.pruned_subplans = len(pruned)
+            outcome.pruned_subplans = len(self.tracker.prune_object_ids(segment_id))
             self.empty_objects.add(segment_id)
             self.stats.merge(outcome.stats)
             return outcome
@@ -141,7 +140,7 @@ class MJoinStateManager:
             if outcome.evicted_still_needed:
                 self.reissue_queue.append(evicted)
 
-        runnable = self.tracker.newly_runnable(self.cache.segment_ids(), segment_id)
+        runnable = self.tracker.runnable_items(self.cache.ids_view(), segment_id)
         self.cache.add(segment_id, prepared, num_rows=prepared.num_rows)
         outcome.cached = True
         outcome.stats.tuples_built += prepared.num_rows
@@ -158,13 +157,26 @@ class MJoinStateManager:
         # relation, plus the emitted result tuples — while the per-subplan
         # execution results are discarded from the cost accounting.
         subplan_stats = OperatorStats()
-        for subplan in runnable:
-            segments = self._segments_for(subplan.segments)
-            rows = self.njoin.execute(segments, subplan_stats)
-            self.aggregate.add_all(rows)
-            outcome.result_rows += len(rows)
-            self.total_result_rows += len(rows)
-            self.tracker.mark_executed(subplan)
+        if runnable:
+            cache_payloads = self.cache.payloads
+            execute = self.njoin.execute_ordered
+            aggregate_add = self.aggregate.add_all
+            result_rows = 0
+            for _, combination in runnable:
+                # ``combination`` is ordered by the plan's join order (the
+                # tracker was built with it), so the prepared segments are
+                # handed to the join positionally.  ``payloads`` touches the
+                # cache entries exactly like one ``get`` per segment, so hit
+                # counts and recency ticks are unchanged.
+                rows = execute(cache_payloads(combination), subplan_stats)
+                if rows:
+                    aggregate_add(rows)
+                    result_rows += len(rows)
+            self.tracker.mark_executed_ids(
+                [subplan_id for subplan_id, _ in runnable]
+            )
+            outcome.result_rows = result_rows
+            self.total_result_rows += result_rows
         outcome.executed_subplans = len(runnable)
         if runnable:
             other_tables = len(self.plan.steps) - 1

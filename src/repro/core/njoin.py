@@ -25,7 +25,9 @@ class PreparedSegment:
 
     ``hash_tables`` maps a tuple of key column names to a hash table from key
     values to row lists; tables are built on first use and reused across all
-    subplans that touch the segment.
+    subplans that touch the segment.  Single-column tables are keyed by the
+    bare column value (no 1-tuple wrapper), so neither the build nor the
+    probe loop allocates a tuple per row.
     """
 
     __slots__ = ("segment_id", "table_name", "rows", "hash_tables")
@@ -34,14 +36,14 @@ class PreparedSegment:
         self.segment_id = segment_id
         self.table_name = table_name
         self.rows = rows
-        self.hash_tables: Dict[Tuple[str, ...], Dict[Tuple[object, ...], List[Row]]] = {}
+        self.hash_tables: Dict[Tuple[str, ...], Dict[object, List[Row]]] = {}
 
     @property
     def num_rows(self) -> int:
         """Number of (filtered) rows buffered for the segment."""
         return len(self.rows)
 
-    def hash_table(self, key_columns: Tuple[str, ...]) -> Dict[Tuple[object, ...], List[Row]]:
+    def hash_table(self, key_columns: Tuple[str, ...]) -> Dict[object, List[Row]]:
         """Return (building if necessary) the hash table on ``key_columns``."""
         table = self.hash_tables.get(key_columns)
         if table is None:
@@ -49,7 +51,7 @@ class PreparedSegment:
             if len(key_columns) == 1:
                 column = key_columns[0]
                 for row in self.rows:
-                    key = (row[column],)
+                    key: object = row[column]
                     bucket = table.get(key)
                     if bucket is None:
                         table[key] = [row]
@@ -70,11 +72,21 @@ class PreparedSegment:
 def prepare_segment(
     segment: Segment, predicate: Optional[Predicate], segment_id: Optional[str] = None
 ) -> PreparedSegment:
-    """Filter a raw segment into a :class:`PreparedSegment`."""
+    """Filter a raw segment into a :class:`PreparedSegment`.
+
+    Columnar segments are filtered over their column arrays when the
+    predicate supports bulk selection (only the matching rows are ever
+    materialised into dicts); everything else falls back to per-row
+    evaluation.  The prepared row list is never mutated downstream, so the
+    unfiltered path shares the segment's row list instead of copying it.
+    """
     if predicate is None:
-        rows = list(segment.rows)
+        rows = segment.rows
     else:
-        rows = [row for row in segment.rows if predicate.evaluate(row)]
+        filtered = getattr(segment, "filtered_rows", None)
+        rows = filtered(predicate) if filtered is not None else None
+        if rows is None:
+            rows = [row for row in segment.rows if predicate.evaluate(row)]
     return PreparedSegment(
         segment_id=segment_id or segment.segment_id,
         table_name=segment.table_name,
@@ -92,39 +104,61 @@ class NAryJoin:
             query.tables
         ):
             raise ExecutionError("plan does not cover the query's tables")
+        #: Table names in plan order, and per-probe-step (probe, build) key
+        #: columns — both depend only on the plan, so deriving them once here
+        #: keeps them out of the per-subplan execute loop.
+        self._step_tables: Tuple[str, ...] = tuple(step.table for step in plan.steps)
+        self._step_keys: List[Tuple[Tuple[str, ...], Tuple[str, ...]]] = [
+            (
+                tuple(
+                    condition.column_for(condition.other(step.table))
+                    for condition in step.conditions
+                ),
+                tuple(condition.column_for(step.table) for condition in step.conditions),
+            )
+            for step in plan.steps[1:]
+        ]
 
     def execute(
         self, segments: Dict[str, PreparedSegment], stats: Optional[OperatorStats] = None
     ) -> List[Row]:
         """Join ``segments`` (table name → prepared segment) and return rows."""
-        stats = stats if stats is not None else OperatorStats()
-        missing = [step.table for step in self.plan.steps if step.table not in segments]
+        missing = [table for table in self._step_tables if table not in segments]
         if missing:
             raise ExecutionError(f"missing segments for tables: {missing}")
+        return self.execute_ordered(
+            [segments[table] for table in self._step_tables], stats
+        )
 
-        first = self.plan.steps[0].table
-        current: List[Row] = list(segments[first].rows)
+    def execute_ordered(
+        self,
+        segments: Sequence[PreparedSegment],
+        stats: Optional[OperatorStats] = None,
+    ) -> List[Row]:
+        """Join ``segments`` given one prepared segment per plan step, in order.
+
+        The subplan tracker orders each subplan's segments by the plan's
+        join order, so the MJoin arrival loop can hand them over positionally
+        — no table-name dict per subplan.
+        """
+        stats = stats if stats is not None else OperatorStats()
+        # The first table's row list is only read (each step rebinds
+        # ``current`` to a fresh list), so no defensive copy is needed.
+        current: List[Row] = segments[0].rows
         if not current:
             return []
 
-        for step in self.plan.steps[1:]:
-            probe_columns = tuple(
-                condition.column_for(condition.other(step.table)) for condition in step.conditions
-            )
-            build_columns = tuple(
-                condition.column_for(step.table) for condition in step.conditions
-            )
-            hash_table = segments[step.table].hash_table(build_columns)
+        for prepared, (probe_columns, build_columns) in zip(segments[1:], self._step_keys):
+            table_get = prepared.hash_table(build_columns).get
             # Every probe row increments the counter exactly once, so the
             # per-row increment can be hoisted out of the loop.
             stats.tuples_probed += len(current)
             next_rows: List[Row] = []
             append = next_rows.append
-            table_get = hash_table.get
             if len(probe_columns) == 1:
                 probe_column = probe_columns[0]
                 for row in current:
-                    matches = table_get((row[probe_column],))
+                    matches = table_get(row[probe_column])
                     if matches:
                         for match in matches:
                             append(merge_rows(match, row))

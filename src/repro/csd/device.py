@@ -316,13 +316,15 @@ class DeviceStats:
     def migration_deferrals(self, value: int) -> None:
         self._migration_deferrals.value = value
 
-    # -- hot-path recording -------------------------------------------- #
+    # -- hot-path recording (counters bumped directly: these run once per
+    # request and ``Counter.inc``'s negative-amount guard is dead weight for
+    # a constant +1) ---------------------------------------------------- #
     def record_served(self, client_id: str) -> None:
-        self._objects_served.inc()
+        self._objects_served.value += 1
         self.objects_per_client[client_id] = self.objects_per_client.get(client_id, 0) + 1
 
     def record_request(self) -> None:
-        self._requests_received.inc()
+        self._requests_received.value += 1
 
     def record_switch(self) -> None:
         self._group_switches.inc()
@@ -396,9 +398,14 @@ class ColdStorageDevice:
         """Submit a GET request; its ``completion`` event fires with the payload."""
         if not self.object_store.exists(request.object_key):
             raise StorageError(f"request for unknown object {request.object_key!r}")
-        if not self.layout.has_object(request.object_key):
+        # Resolve the disk group once: the same lookup validates placement
+        # (the layout is append-only, so the group cannot change between
+        # here and ``_register``).
+        group = self.layout.group_if_placed(request.object_key)
+        if group is None:
             raise StorageError(f"object {request.object_key!r} is not placed on any disk group")
-        request.issue_time = self.env.now
+        request.disk_group = group
+        request.issue_time = self.env._now
         if self.tracer.enabled:
             self.tracer.io_submit(request.query_id, request.object_key, self.name)
         self.inbox.put(request)
@@ -410,7 +417,7 @@ class ColdStorageDevice:
             object_key=object_key,
             client_id=client_id,
             query_id=query_id,
-            completion=self.env.event(name=f"get:{object_key}"),
+            completion=self.env.event(name=object_key),
         )
         return self.submit(request)
 
@@ -472,7 +479,11 @@ class ColdStorageDevice:
         if isinstance(item, MigrationJob):
             self._admin_jobs.append(item)
             return
-        group = self.layout.group_of(item.object_key)
+        # ``disk_group`` was resolved by ``submit``; requests injected into
+        # the inbox by other paths (tests, handoffs) fall back to the layout.
+        group = item.disk_group
+        if group is None:
+            group = self.layout.group_of(item.object_key)
         self.scheduler.add_request(item, group)
         self.stats.record_request()
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 from repro.exceptions import LayoutError
 
@@ -73,6 +73,14 @@ class DiskGroupLayout:
             return self._assignment[object_key]
         except KeyError:
             raise LayoutError(f"object {object_key!r} is not placed by this layout") from None
+
+    def group_if_placed(self, object_key: str) -> Optional[int]:
+        """Group holding ``object_key``, or ``None`` if it is not placed.
+
+        One dict probe doing the work of ``has_object`` + ``group_of`` —
+        the device submit path runs this for every incoming request.
+        """
+        return self._assignment.get(object_key)
 
     def objects_in_group(self, group_id: int) -> Set[str]:
         """All object keys stored in ``group_id``."""

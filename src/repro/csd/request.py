@@ -71,6 +71,19 @@ class MigrationJob:
 class GetRequest:
     """A single object GET issued by a database client."""
 
+    __slots__ = (
+        "request_id",
+        "object_key",
+        "client_id",
+        "query_id",
+        "completion",
+        "issue_time",
+        "group_id",
+        "complete_time",
+        "disk_group",
+        "owner",
+    )
+
     def __init__(
         self,
         object_key: str,
@@ -88,6 +101,12 @@ class GetRequest:
         #: Filled in by the device when the request is served.
         self.group_id: Optional[int] = None
         self.complete_time: Optional[float] = None
+        #: Disk group resolved at submit time (device-internal; the layout
+        #: is append-only, so a placed key's group never changes).
+        self.disk_group: Optional[int] = None
+        #: Fleet member currently serving the request (router-internal);
+        #: storing it here avoids a million-entry owner dict in the router.
+        self.owner: Optional[object] = None
 
     @property
     def table_name(self) -> str:

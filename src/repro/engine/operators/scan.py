@@ -4,9 +4,48 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence
 
-from repro.engine.operators.base import Operator, Row
+from repro.engine.operators.base import Operator, OperatorStats, Row
 from repro.engine.predicate import Predicate
 from repro.engine.relation import Relation, Segment
+
+
+def _scan_segment(
+    segment: Segment, predicate: Optional[Predicate], stats: OperatorStats
+) -> Iterator[Row]:
+    """Yield a segment's (filtered) rows, columnar fast path included.
+
+    When the segment is columnar and the predicate supports bulk
+    :meth:`~repro.engine.predicate.Predicate.selection`, the filter runs
+    over the column arrays and only matching rows are materialised.  The
+    stats stay call-for-call identical to the per-row path, including under
+    early termination (e.g. a downstream Limit): ``tuples_scanned`` counts
+    exactly the rows the per-row scan would have touched by that point.
+    """
+    if predicate is None:
+        for row in segment.rows:
+            stats.tuples_scanned += 1
+            stats.tuples_output += 1
+            yield row
+        return
+    selection: Optional[List[int]] = None
+    columns = segment.columns
+    total = len(segment)
+    if columns is not None and total > 0:
+        selection = predicate.selection(columns, total)
+    if selection is None:
+        for row in segment.rows:
+            stats.tuples_scanned += 1
+            if predicate.evaluate(row):
+                stats.tuples_output += 1
+                yield row
+        return
+    scanned = 0
+    for position, row in zip(selection, segment.rows_at(selection)):
+        stats.tuples_scanned += position + 1 - scanned
+        scanned = position + 1
+        stats.tuples_output += 1
+        yield row
+    stats.tuples_scanned += total - scanned
 
 
 class SegmentScan(Operator):
@@ -18,11 +57,7 @@ class SegmentScan(Operator):
         self.predicate = predicate
 
     def __iter__(self) -> Iterator[Row]:
-        for row in self.segment.rows:
-            self.stats.tuples_scanned += 1
-            if self.predicate is None or self.predicate.evaluate(row):
-                self.stats.tuples_output += 1
-                yield row
+        return _scan_segment(self.segment, self.predicate, self.stats)
 
 
 class SequentialScan(Operator):
@@ -44,8 +79,4 @@ class SequentialScan(Operator):
 
     def __iter__(self) -> Iterator[Row]:
         for segment in self._segments:
-            for row in segment.rows:
-                self.stats.tuples_scanned += 1
-                if self.predicate is None or self.predicate.evaluate(row):
-                    self.stats.tuples_output += 1
-                    yield row
+            yield from _scan_segment(segment, self.predicate, self.stats)

@@ -2,11 +2,22 @@
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
 
 from repro.exceptions import ExecutionError, QueryError
 
 Row = Dict[str, object]
+
+#: Column-name → value-array view of a columnar segment.
+Columns = Mapping[str, Sequence[object]]
+
+
+def _column_values(columns: Columns, name: str) -> Sequence[object]:
+    """Look up one column array, matching the row-path missing-column error."""
+    try:
+        return columns[name]
+    except KeyError:
+        raise ExecutionError(f"row has no column {name!r}") from None
 
 
 class Expression:
@@ -98,6 +109,22 @@ class Predicate(Expression):
     def evaluate(self, row: Row) -> bool:  # type: ignore[override]
         raise NotImplementedError
 
+    def selection(
+        self, columns: Columns, count: int, indices: Optional[List[int]] = None
+    ) -> Optional[List[int]]:
+        """Bulk evaluation over column arrays: indices of accepted rows.
+
+        ``indices`` restricts evaluation to those row positions (ascending);
+        ``None`` means all ``count`` rows.  Returns ``None`` when this
+        predicate shape has no bulk path — the caller must then fall back to
+        per-row :meth:`evaluate`.  Implementations reproduce the row path
+        exactly: same missing-column errors, same None-compares-false
+        behaviour, and sub-predicates are only evaluated for rows the row
+        path would have reached (so short-circuiting raises — or avoids
+        raising — identically).
+        """
+        return None
+
 
 _COMPARISON_OPS = {
     "=": lambda a, b: a == b,
@@ -153,6 +180,51 @@ class Comparison(Predicate):
             return False
         return bool(self._compare(left, right))
 
+    def selection(
+        self, columns: Columns, count: int, indices: Optional[List[int]] = None
+    ) -> Optional[List[int]]:
+        left, right = self.left, self.right
+        compare = self._compare
+        if type(left) is ColumnRef and type(right) is Literal:
+            constant = right.value
+            if constant is None:
+                # Mirrors the compiled closure: a None literal rejects every
+                # row without ever touching the column.
+                return []
+            if count == 0 or (indices is not None and not indices):
+                return []
+            values = _column_values(columns, left.name)
+            if indices is None:
+                return [
+                    i
+                    for i, value in enumerate(values)
+                    if value is not None and compare(value, constant)
+                ]
+            return [
+                i
+                for i in indices
+                if values[i] is not None and compare(values[i], constant)
+            ]
+        if type(left) is ColumnRef and type(right) is ColumnRef:
+            if count == 0 or (indices is not None and not indices):
+                return []
+            left_values = _column_values(columns, left.name)
+            right_values = _column_values(columns, right.name)
+            if indices is None:
+                return [
+                    i
+                    for i, (a, b) in enumerate(zip(left_values, right_values))
+                    if a is not None and b is not None and compare(a, b)
+                ]
+            return [
+                i
+                for i in indices
+                if left_values[i] is not None
+                and right_values[i] is not None
+                and compare(left_values[i], right_values[i])
+            ]
+        return None
+
     def columns(self) -> FrozenSet[str]:
         return self.left.columns() | self.right.columns()
 
@@ -203,6 +275,28 @@ class Between(Predicate):
             return bool(self.low <= value <= self.high)  # type: ignore[operator]
         return bool(self.low <= value < self.high)  # type: ignore[operator]
 
+    def selection(
+        self, columns: Columns, count: int, indices: Optional[List[int]] = None
+    ) -> Optional[List[int]]:
+        if type(self.expr) is not ColumnRef:
+            return None
+        if count == 0 or (indices is not None and not indices):
+            return []
+        values = _column_values(columns, self.expr.name)
+        low, high = self.low, self.high
+        positions = range(count) if indices is None else indices
+        if self.inclusive:
+            return [
+                i
+                for i in positions
+                if values[i] is not None and low <= values[i] <= high  # type: ignore[operator]
+            ]
+        return [
+            i
+            for i in positions
+            if values[i] is not None and low <= values[i] < high  # type: ignore[operator]
+        ]
+
     def columns(self) -> FrozenSet[str]:
         return self.expr.columns()
 
@@ -231,6 +325,19 @@ class InList(Predicate):
     def evaluate(self, row: Row) -> bool:
         return self.expr.evaluate(row) in self.values
 
+    def selection(
+        self, columns: Columns, count: int, indices: Optional[List[int]] = None
+    ) -> Optional[List[int]]:
+        if type(self.expr) is not ColumnRef:
+            return None
+        if count == 0 or (indices is not None and not indices):
+            return []
+        values = _column_values(columns, self.expr.name)
+        members = self.values
+        if indices is None:
+            return [i for i, value in enumerate(values) if value in members]
+        return [i for i in indices if values[i] in members]
+
     def columns(self) -> FrozenSet[str]:
         return self.expr.columns()
 
@@ -249,6 +356,21 @@ class And(Predicate):
             if not evaluate(row):
                 return False
         return True
+
+    def selection(
+        self, columns: Columns, count: int, indices: Optional[List[int]] = None
+    ) -> Optional[List[int]]:
+        # Each child only sees the rows that survived the previous children,
+        # mirroring the row path's short-circuit: a child that would raise is
+        # only reached when at least one row reaches it.
+        result = indices
+        for predicate in self.predicates:
+            if result is not None and not result:
+                return result
+            result = predicate.selection(columns, count, result)
+            if result is None:
+                return None
+        return result if result is not None else list(range(count))
 
     def columns(self) -> FrozenSet[str]:
         result: FrozenSet[str] = frozenset()
@@ -272,6 +394,26 @@ class Or(Predicate):
                 return True
         return False
 
+    def selection(
+        self, columns: Columns, count: int, indices: Optional[List[int]] = None
+    ) -> Optional[List[int]]:
+        # Each child only sees rows every previous child rejected (the row
+        # path stops evaluating children once one accepts).
+        remaining = list(range(count)) if indices is None else list(indices)
+        accepted: List[int] = []
+        for predicate in self.predicates:
+            if not remaining:
+                break
+            selected = predicate.selection(columns, count, remaining)
+            if selected is None:
+                return None
+            if selected:
+                accepted.extend(selected)
+                selected_set = set(selected)
+                remaining = [i for i in remaining if i not in selected_set]
+        accepted.sort()
+        return accepted
+
     def columns(self) -> FrozenSet[str]:
         result: FrozenSet[str] = frozenset()
         for predicate in self.predicates:
@@ -288,6 +430,16 @@ class Not(Predicate):
     def evaluate(self, row: Row) -> bool:
         return not self.predicate.evaluate(row)
 
+    def selection(
+        self, columns: Columns, count: int, indices: Optional[List[int]] = None
+    ) -> Optional[List[int]]:
+        base = list(range(count)) if indices is None else indices
+        selected = self.predicate.selection(columns, count, base)
+        if selected is None:
+            return None
+        excluded = set(selected)
+        return [i for i in base if i not in excluded]
+
     def columns(self) -> FrozenSet[str]:
         return self.predicate.columns()
 
@@ -297,6 +449,11 @@ class TruePredicate(Predicate):
 
     def evaluate(self, row: Row) -> bool:
         return True
+
+    def selection(
+        self, columns: Columns, count: int, indices: Optional[List[int]] = None
+    ) -> Optional[List[int]]:
+        return list(range(count)) if indices is None else list(indices)
 
     def columns(self) -> FrozenSet[str]:
         return frozenset()

@@ -1,43 +1,141 @@
 """Segmented relations.
 
 The paper stores each relation as a set of 1 GB *segments*, each of which is
-one object in the cold storage device.  Here a :class:`Segment` is a list of
-rows and a :class:`Relation` is an ordered list of segments plus a schema.
+one object in the cold storage device.  Here a :class:`Segment` is a columnar
+slice of a relation — per-column value arrays with row dictionaries
+materialised lazily at result boundaries — and a :class:`Relation` is an
+ordered list of segments plus a schema.
+
+The columnar layout is behaviour-transparent: ``segment.rows`` still yields
+the same row dicts (same values, same key order) the old row-major storage
+held, but predicates with a bulk :meth:`~repro.engine.predicate.Predicate.
+selection` path can filter a segment over its column arrays and only
+materialise the matching rows.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine.predicate import Predicate
 from repro.engine.schema import TableSchema
 from repro.exceptions import SchemaError
 
 
 class Segment:
-    """A horizontal slice of a relation stored as one CSD object."""
+    """A horizontal slice of a relation stored as one CSD object.
+
+    Rows with a uniform column layout (every row has the same keys in the
+    same order — all generated catalogs do) are shredded into per-column
+    arrays at construction; ``rows`` materialises (and caches) the row-dict
+    view on first access.  Heterogeneous rows fall back to row-major storage
+    so arbitrary hand-built segments keep working unchanged.
+    """
+
+    __slots__ = (
+        "table_name",
+        "index",
+        "segment_id",
+        "_columns",
+        "_column_names",
+        "_num_rows",
+        "_rows",
+    )
 
     def __init__(self, table_name: str, index: int, rows: Sequence[Dict[str, object]]) -> None:
         if index < 0:
             raise SchemaError(f"segment index must be >= 0, got {index}")
         self.table_name = table_name
         self.index = index
-        self.rows: List[Dict[str, object]] = list(rows)
-
-    @property
-    def segment_id(self) -> str:
-        """Stable identifier, e.g. ``lineitem.3``."""
-        return f"{self.table_name}.{self.index}"
+        #: Stable identifier, e.g. ``lineitem.3``.  Precomputed: it is read
+        #: on every request/arrival, millions of times per large run.
+        self.segment_id = f"{table_name}.{index}"
+        materialised = rows if isinstance(rows, list) else list(rows)
+        self._num_rows = len(materialised)
+        self._rows: Optional[List[Dict[str, object]]] = None
+        self._columns: Optional[Dict[str, List[object]]] = None
+        self._column_names: Tuple[str, ...] = ()
+        if materialised:
+            names = tuple(materialised[0])
+            if all(tuple(row) == names for row in materialised):
+                self._columns = {
+                    name: [row[name] for row in materialised] for name in names
+                }
+                self._column_names = names
+            else:
+                self._rows = list(materialised)
+        else:
+            self._columns = {}
 
     @property
     def num_rows(self) -> int:
         """Number of rows stored in the segment."""
-        return len(self.rows)
+        return self._num_rows
+
+    @property
+    def columns(self) -> Optional[Dict[str, List[object]]]:
+        """Column-name → value-array view, or ``None`` for row-major fallback."""
+        return self._columns
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        """Column names in row key order (empty for row-major fallback)."""
+        return self._column_names
+
+    @property
+    def rows(self) -> List[Dict[str, object]]:
+        """Row-dict view of the segment (materialised once, then cached)."""
+        rows = self._rows
+        if rows is None:
+            columns = self._columns
+            names = self._column_names
+            if columns and names:
+                rows = [
+                    dict(zip(names, values))
+                    for values in zip(*(columns[name] for name in names))
+                ]
+            else:
+                rows = [{} for _ in range(self._num_rows)]
+            self._rows = rows
+        return rows
+
+    def filtered_rows(self, predicate: Predicate) -> Optional[List[Dict[str, object]]]:
+        """Rows passing ``predicate``, evaluated over the column arrays.
+
+        Returns ``None`` when the bulk path does not apply (row-major
+        fallback storage, or a predicate shape without a ``selection``
+        implementation) — the caller then falls back to per-row
+        ``predicate.evaluate``, which this path matches exactly, including
+        missing-column errors and None-compares-false semantics.  Only the
+        matching rows are ever materialised into dicts.
+        """
+        if self._num_rows == 0:
+            return []
+        columns = self._columns
+        if columns is None:
+            return None
+        selection = predicate.selection(columns, self._num_rows)
+        if selection is None:
+            return None
+        return self.rows_at(selection)
+
+    def rows_at(self, indices: Sequence[int]) -> List[Dict[str, object]]:
+        """Materialise only the rows at ``indices`` (ascending positions)."""
+        rows = self._rows
+        if rows is not None:
+            return [rows[i] for i in indices]
+        names = self._column_names
+        columns = self._columns
+        if not names or not columns:
+            return [{} for _ in indices]
+        cols = [columns[name] for name in names]
+        return [dict(zip(names, [col[i] for col in cols])) for i in indices]
 
     def __iter__(self) -> Iterator[Dict[str, object]]:
         return iter(self.rows)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._num_rows
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Segment {self.segment_id} rows={self.num_rows}>"

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import PlacementError
 
@@ -135,6 +135,23 @@ class ConsistentHashPlacement(PlacementPolicy):
             self._key_hash_cache[object_key] = cached
         return cached
 
+    def bulk_key_hashes(self, object_keys: Sequence[str]) -> List[int]:
+        """Memoised :func:`stable_hash` of many keys with the per-call overhead
+        (method dispatch, attribute lookups) hoisted out of the loop."""
+        cache = self._key_hash_cache
+        cache_get = cache.get
+        sha256 = hashlib.sha256
+        from_bytes = int.from_bytes
+        hashes: List[int] = []
+        append = hashes.append
+        for key in object_keys:
+            value = cache_get(key)
+            if value is None:
+                value = from_bytes(sha256(key.encode()).digest()[:8], "big")
+                cache[key] = value
+            append(value)
+        return hashes
+
     def _ring(self, device_ids: Sequence[str]) -> Tuple[List[int], List[str]]:
         cache_key = tuple(device_ids)
         cached = self._ring_cache.get(cache_key)
@@ -185,17 +202,37 @@ class ConsistentHashPlacement(PlacementPolicy):
         return result
 
     def place(
-        self, object_keys: Sequence[str], device_ids: Sequence[str]
+        self,
+        object_keys: Sequence[str],
+        device_ids: Sequence[str],
+        *,
+        sorted_key_hashes: Optional[Sequence[Tuple[int, str]]] = None,
     ) -> Dict[str, Tuple[str, ...]]:
+        """Bulk arc-sweep placement.
+
+        Instead of one ring bisect per key (O(K·log V)), sort the key hashes
+        once and walk keys and ring arcs together with two pointers, assigning
+        whole runs of keys per arc — O(K log K + V), and O(K + V) when the
+        caller supplies a pre-sorted ``(hash, key)`` list (the fleet router
+        keeps one for epoch diffs and passes it back in here).
+        """
         self._validate(object_keys, device_ids)
         hashes, replicas_by_arc = self._segments(device_ids, self.replication)
         ring_size = len(hashes)
-        bisect_right = bisect.bisect_right
-        key_hash = self.key_hash
-        return {
-            key: replicas_by_arc[bisect_right(hashes, key_hash(key)) % ring_size]
-            for key in object_keys
-        }
+        if sorted_key_hashes is None:
+            sorted_key_hashes = sorted(zip(self.bulk_key_hashes(object_keys), object_keys))
+        # Two-pointer sweep: key hashes ascend, so the owning arc index
+        # (== bisect_right(hashes, key_hash)) only ever moves forward.
+        owners: Dict[str, Tuple[str, ...]] = {}
+        position = 0
+        for key_hash_value, key in sorted_key_hashes:
+            while position < ring_size and hashes[position] <= key_hash_value:
+                position += 1
+            owners[key] = replicas_by_arc[position % ring_size]
+        # Re-emit in the caller's key order: downstream consumers (layout
+        # build, migration plans, golden metrics) iterate the placement dict
+        # and rely on its insertion order matching the key population order.
+        return {key: owners[key] for key in object_keys}
 
     def replicas_for(self, object_key: str, device_ids: Sequence[str]) -> Tuple[str, ...]:
         hashes, replicas_by_arc = self._segments(device_ids, self.replication)

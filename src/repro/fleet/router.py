@@ -30,6 +30,7 @@ Responsibilities:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -216,35 +217,50 @@ class FleetRouter:
         #: Replication factor the current placement was computed at (tracks
         #: ``SetReplication`` events and repair under device loss).
         self.placement_replication = fleet_spec.replication
+        #: Key population as (hash, key) pairs sorted by hash — computed
+        #: once (key hashes never change): the initial bulk placement sweeps
+        #: this sorted list and every epoch change walks changed ring arcs
+        #: instead of re-placing all keys.
         #: object key -> replica device ids, primary first (current epoch).
-        self.placement: Dict[str, Tuple[str, ...]] = self._policy.place(
-            self._key_order, list(fleet_spec.device_ids)
-        )
+        if isinstance(self._policy, ConsistentHashPlacement):
+            self._sorted_key_hashes: List[Tuple[int, str]] = sorted(
+                zip(self._policy.bulk_key_hashes(self._key_order), self._key_order)
+            )
+            self.placement: Dict[str, Tuple[str, ...]] = self._policy.place(
+                self._key_order,
+                list(fleet_spec.device_ids),
+                sorted_key_hashes=self._sorted_key_hashes,
+            )
+        else:
+            self._sorted_key_hashes = []
+            self.placement = self._policy.place(
+                self._key_order, list(fleet_spec.device_ids)
+            )
         #: Roster the current placement was computed over; paired with
         #: ``placement_replication`` it identifies the old epoch's ring for
         #: incremental placement diffs.
         self._placement_roster: Tuple[str, ...] = tuple(fleet_spec.device_ids)
-        #: Key population as (hash, key) pairs sorted by hash — computed
-        #: once (key hashes never change) so every epoch change can walk
-        #: changed ring arcs instead of re-placing all keys.
-        if isinstance(self._policy, ConsistentHashPlacement):
-            key_hash = self._policy.key_hash
-            self._sorted_key_hashes: List[Tuple[int, str]] = sorted(
-                (key_hash(key), key) for key in self._key_order
-            )
-        else:
-            self._sorted_key_hashes = []
+        #: (first canonical rank, client) per client with keys, ascending —
+        #: binary-searching a key's rank recovers its owning client without a
+        #: per-key map (canonical order is client-major).
+        self._client_spans: List[Tuple[int, str]] = []
+        rank = 0
+        for client, keys in self.client_objects.items():
+            if keys:
+                self._client_spans.append((rank, client))
+                rank += len(keys)
+        self._client_span_starts: List[int] = [
+            start for start, _client in self._client_spans
+        ]
         #: Per-epoch replication health: under-replicated key counts sampled
         #: when each epoch opened (before its plan ran) and after.
         self.replication_log: List[Dict[str, object]] = []
 
         self.members: List[FleetMember] = []
         self._member_by_id: Dict[str, FleetMember] = {}
-        #: Member currently responsible for each in-flight request
-        #: (re-pointed on failover/handoff, popped when the completion fires).
-        self._owner_by_request: Dict[int, FleetMember] = {}
+        subsets = self._invert_placement()
         for record in self.membership.records:
-            self._create_member(record, self._subset_for(record.device_id))
+            self._create_member(record, subsets.get(record.device_id, {}))
 
         #: Failure/membership processes; their exceptions would otherwise be
         #: recorded on the process event with no waiter and silently lost,
@@ -285,6 +301,34 @@ class FleetRouter:
             for client, keys in self.client_objects.items()
         }
         return {client: keys for client, keys in subset.items() if keys}
+
+    def _invert_placement(self) -> Dict[str, Dict[str, List[str]]]:
+        """Every device's :meth:`_subset_for` computed in one placement pass.
+
+        Walking the canonical key order once and appending each key to its
+        replicas' per-client lists produces, for every device, exactly the
+        dict :meth:`_subset_for` would build — same clients in the same
+        first-seen order, same keys in client order — in O(K·R) total
+        instead of O(devices · K) repeated scans.
+        """
+        subsets: Dict[str, Dict[str, List[str]]] = {}
+        placement = self.placement
+        for client, keys in self.client_objects.items():
+            for key in keys:
+                for device_id in placement[key]:
+                    per_client = subsets.setdefault(device_id, {})
+                    bucket = per_client.get(client)
+                    if bucket is None:
+                        per_client[client] = [key]
+                    else:
+                        bucket.append(key)
+        return subsets
+
+    def _client_of_key(self, object_key: str) -> str:
+        """Owning client of a placed key, via its canonical rank."""
+        rank = self._key_rank[object_key]
+        span = bisect_right(self._client_span_starts, rank) - 1
+        return self._client_spans[span][1]
 
     def _make_throttle(self) -> Optional[MigrationTokenBucket]:
         """Fresh per-device token bucket, or ``None`` for strict priority."""
@@ -331,7 +375,7 @@ class FleetRouter:
         member = self._choose_replica(request.object_key)
         member.requests_routed += 1
         member.outstanding += 1
-        self.stats.requests_routed += 1
+        self.stats._requests_routed.value += 1
         if self.tracer.enabled:
             self.tracer.route(
                 request.query_id,
@@ -341,11 +385,13 @@ class FleetRouter:
                 self.spec.replica_policy,
                 member.outstanding,
             )
-        # One callback per request, however often it is re-routed; the owner
-        # map points at whichever member is actually serving it now.
-        if request.request_id not in self._owner_by_request:
+        # One callback per request, however often it is re-routed;
+        # ``request.owner`` points at whichever member is actually serving
+        # it now (a slot on the request instead of a router-side dict that
+        # would grow one entry per in-flight key).
+        if request.owner is None:
             request.completion.add_callback(self._make_completion_callback(request))
-        self._owner_by_request[request.request_id] = member
+        request.owner = member
         member.device.submit(request)
         return request
 
@@ -355,20 +401,25 @@ class FleetRouter:
             object_key=object_key,
             client_id=client_id,
             query_id=query_id,
-            completion=self.env.event(name=f"get:{object_key}"),
+            completion=self.env.event(name=object_key),
         )
         return self.submit(request)
 
     def _make_completion_callback(self, request: GetRequest):
         def _on_complete(_event) -> None:
-            member = self._owner_by_request.pop(request.request_id)
+            member = request.owner
+            request.owner = None
+            if not isinstance(member, FleetMember):  # pragma: no cover - defensive
+                raise FleetError(
+                    f"request #{request.request_id} completed without a routed owner"
+                )
             member.outstanding -= 1
             if member.outstanding < 0:
                 raise FleetError(
                     f"device {member.device_id!r} completed more requests "
                     "than were routed to it (outstanding went negative)"
                 )
-            tenant, _segment = split_object_key(request.object_key)
+            tenant = request.object_key.partition("/")[0]
             self.stats.record_served(tenant, member.device_id)
 
         return _on_complete
@@ -378,10 +429,17 @@ class FleetRouter:
             replicas = self.placement[object_key]
         except KeyError:
             raise FleetError(f"object {object_key!r} is not placed on any device") from None
+        members = self._member_by_id
+        if self.spec.replica_policy != "least-loaded":
+            # Primary-first fast path: the answer is the first live replica,
+            # so a healthy primary skips building the live-member list.
+            primary = members[replicas[0]]
+            if primary.alive:
+                return primary
         live = [
-            self._member_by_id[device_id]
+            members[device_id]
             for device_id in replicas
-            if self._member_by_id[device_id].alive
+            if members[device_id].alive
         ]
         if not live:
             raise FleetError(
@@ -575,12 +633,23 @@ class FleetRouter:
             if member.device is None:
                 # A device with no ColdStorageDevice held nothing before, so
                 # its gained keys are exactly its subset of the (already
-                # updated) current placement.
+                # updated) current placement: group them by owning client
+                # (``ordered`` is canonical — client-major — so clients land
+                # in first-seen order with keys in client order, matching
+                # what a full placement scan would build).
+                subset: Dict[str, List[str]] = {}
+                for key in ordered:
+                    client = self._client_of_key(key)
+                    bucket = subset.get(client)
+                    if bucket is None:
+                        subset[client] = [key]
+                    else:
+                        bucket.append(key)
                 record = self.membership.record(member.device_id)
                 member.device = ColdStorageDevice(
                     env=self.env,
                     object_store=self.object_store,
-                    layout=self.layout_policy.build(self._subset_for(member.device_id)),
+                    layout=self.layout_policy.build(subset),
                     scheduler=self.scheduler_factory(),
                     config=record.config,
                     migration_throttle=self._make_throttle(),

@@ -22,11 +22,15 @@ the legacy harness, which the golden-metrics suite pins.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.cluster.client import ClientSpec
 from repro.cluster.cluster import ClusterConfig, ClusterResult
-from repro.cluster.metrics import ExecutionBreakdown, attribute_waiting, busy_span_index
+from repro.cluster.metrics import (
+    ExecutionBreakdown,
+    attribute_waiting_batch,
+    busy_span_index,
+)
 from repro.csd.device import ColdStorageDevice
 from repro.csd.object_store import ObjectStore
 from repro.csd.request import GetRequest
@@ -294,18 +298,24 @@ class StorageService:
         # (close, then reopen); its measurements are concatenated in session
         # order.
         results_by_client: Dict[str, List] = {}
-        breakdowns_by_client: Dict[str, List[ExecutionBreakdown]] = {}
+        ordered_results: List[Tuple[str, object]] = []
         for session in self._sessions:
             results_by_client.setdefault(session.tenant_id, []).extend(session.results)
-            breakdowns_by_client.setdefault(session.tenant_id, []).extend(
-                attribute_waiting(
-                    result.blocked_intervals,
-                    busy_intervals,
-                    processing_time=result.processing_time,
-                    span_index=span_index,
-                )
-                for result in session.results
+            ordered_results.extend(
+                (session.tenant_id, result) for result in session.results
             )
+        # All queries attributed in one sorted sweep over the span index —
+        # bit-identical to per-query attribute_waiting calls, without the
+        # per-call bisect windows.
+        breakdowns = attribute_waiting_batch(
+            [result.blocked_intervals for _tenant, result in ordered_results],
+            busy_intervals,
+            [result.processing_time for _tenant, result in ordered_results],
+            span_index=span_index,
+        )
+        breakdowns_by_client: Dict[str, List[ExecutionBreakdown]] = {}
+        for (tenant, _result), breakdown in zip(ordered_results, breakdowns):
+            breakdowns_by_client.setdefault(tenant, []).append(breakdown)
 
         stats = self.device_stats()
         return ClusterResult(

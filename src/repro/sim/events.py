@@ -19,6 +19,16 @@ class Event:
     event was triggered.
     """
 
+    __slots__ = (
+        "env",
+        "name",
+        "_triggered",
+        "_dispatched",
+        "_value",
+        "_exception",
+        "_callbacks",
+    )
+
     def __init__(self, env: Environment, name: str = "") -> None:
         self.env = env
         self.name = name
@@ -88,13 +98,22 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically ``delay`` time units in the future."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: Environment, delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"timeout delay must be >= 0, got {delay}")
-        super().__init__(env, name=f"timeout({delay})")
-        self.delay = delay
+        # Fields are assigned directly rather than via ``Event.__init__``:
+        # timeouts are created millions of times per run and both the
+        # ``super()`` call and a per-instance f-string name are measurable.
+        self.env = env
+        self.name = "timeout"
         self._triggered = True
+        self._dispatched = False
         self._value = value
+        self._exception = None
+        self._callbacks = []
+        self.delay = delay
         env._schedule_event(self, delay=delay)
 
 
@@ -108,6 +127,8 @@ class AllOf(Event):
     dispatched children, so completion still arrives through the event queue
     in deterministic order.
     """
+
+    __slots__ = ("_pending", "_results")
 
     def __init__(self, env: Environment, events: List[Event]) -> None:
         super().__init__(env, name=f"all_of({len(events)})")
@@ -142,6 +163,8 @@ class AnyOf(Event):
     delivered at its scheduled time) does not make the composite fire
     immediately.
     """
+
+    __slots__ = ()
 
     def __init__(self, env: Environment, events: List[Event]) -> None:
         super().__init__(env, name=f"any_of({len(events)})")

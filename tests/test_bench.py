@@ -7,6 +7,7 @@ import json
 from repro.bench import (
     _event_count,
     attach_baseline,
+    check_determinism,
     macro_specs,
     peak_rss_kb,
     run_benchmarks,
@@ -14,6 +15,14 @@ from repro.bench import (
     write_document,
 )
 from repro.bench.__main__ import build_parser
+
+_MACRO_NAMES = {
+    "macro-sf-heavy",
+    "macro-fleet-churn",
+    "macro-throttled-rebalance",
+    "macro-million-keys",
+    "macro-sf-1000",
+}
 
 
 class TestMacroSpecs:
@@ -23,13 +32,24 @@ class TestMacroSpecs:
         full = macro_specs(smoke=False)
         smoke = macro_specs(smoke=True)
         assert [spec.name for spec in full] == [spec.name for spec in smoke]
-        assert len(full) == 3
+        assert {spec.name for spec in full} == _MACRO_NAMES
 
     def test_full_suite_is_scaled_up(self):
         by_name = {spec.name: spec for spec in macro_specs(smoke=False)}
         assert by_name["macro-sf-heavy"].scale == "sf100"
         assert by_name["macro-fleet-churn"].fleet.devices == 16
         assert by_name["macro-throttled-rebalance"].fleet.throttle is not None
+        assert by_name["macro-sf-1000"].scale == "sf1000"
+
+    def test_million_keys_macro_shape(self):
+        spec = {s.name: s for s in macro_specs(smoke=False)}["macro-million-keys"]
+        assert spec.scale == "mkeys"
+        assert spec.fleet.devices == 32
+        assert spec.fleet.replication == 2
+        assert spec.fleet.events, "a device join must land mid-run"
+        # Devices model shipping firmware: slack-FCFS with a tight slack.
+        assert spec.scheduler == "slack-fcfs"
+        assert spec.scheduler_param == 4.0
 
 
 class TestMeasurement:
@@ -43,6 +63,7 @@ class TestMeasurement:
         for phase in ("build_seconds", "run_seconds", "report_seconds"):
             assert entry[phase] >= 0.0
         assert entry["wall_seconds"] >= entry["run_seconds"]
+        assert entry["peak_rss_kb_delta"] >= 0
 
     def test_event_count_falls_back_to_sequence_counter(self):
         class OldEnvironment:
@@ -63,30 +84,44 @@ class TestDocument:
     def test_smoke_document_roundtrips(self, tmp_path):
         document = run_benchmarks(smoke=True)
         assert document["mode"] == "smoke"
-        assert set(document["scenarios"]) == {
-            "macro-sf-heavy",
-            "macro-fleet-churn",
-            "macro-throttled-rebalance",
-        }
+        assert set(document["scenarios"]) == _MACRO_NAMES
         assert document["totals"]["events_dispatched"] == sum(
             entry["events_dispatched"] for entry in document["scenarios"].values()
         )
+        # Smoke documents are for CI drift checks, not for committing.
+        assert "smoke_determinism" not in document
         path = write_document(document, tmp_path / "BENCH.json")
         assert json.loads(path.read_text()) == document
 
     def test_attach_baseline_computes_speedups(self):
         document = {
             "scenarios": {
-                "a": {"events_per_second": 300.0},
-                "b": {"events_per_second": 100.0},
-                "only-new": {"events_per_second": 50.0},
+                "a": {
+                    "events_per_second": 300.0,
+                    "build_seconds": 1.0,
+                    "run_seconds": 1.0,
+                },
+                "b": {
+                    "events_per_second": 100.0,
+                    "build_seconds": 1.0,
+                    "run_seconds": 1.0,
+                },
+                "only-new": {
+                    "events_per_second": 50.0,
+                    "build_seconds": 1.0,
+                    "run_seconds": 1.0,
+                },
             }
         }
         baseline = {
             "label": "old",
             "totals": {"events_per_second": 120.0},
             "scenarios": {
-                "a": {"events_per_second": 100.0, "run_seconds": 1.0},
+                "a": {
+                    "events_per_second": 100.0,
+                    "build_seconds": 3.0,
+                    "run_seconds": 3.0,
+                },
                 "b": {"events_per_second": 100.0},
             },
         }
@@ -96,22 +131,55 @@ class TestDocument:
             "a": 3.0,
             "b": 1.0,
         }
+        assert document["baseline"]["speedup_build_run_seconds"] == {"a": 3.0}
         assert "only-new" not in document["baseline"]["speedup_events_per_second"]
+
+    def test_check_determinism_full_and_smoke(self):
+        committed = {
+            "scenarios": {
+                "a": {"events_dispatched": 10, "simulated_time": 5.0},
+            },
+            "smoke_determinism": {
+                "a": {"events_dispatched": 3, "simulated_time": 1.0},
+            },
+        }
+        full_run = {
+            "mode": "full",
+            "scenarios": {"a": {"events_dispatched": 10, "simulated_time": 5.0}},
+        }
+        assert check_determinism(full_run, committed) == []
+        smoke_run = {
+            "mode": "smoke",
+            "scenarios": {"a": {"events_dispatched": 4, "simulated_time": 1.0}},
+        }
+        problems = check_determinism(smoke_run, committed)
+        assert len(problems) == 1 and "events_dispatched" in problems[0]
+        missing = {"mode": "smoke", "scenarios": {}}
+        assert any(
+            "pinned" in problem for problem in check_determinism(missing, committed)
+        )
 
     def test_committed_document_shows_the_core_speedup(self):
         from repro.bench import repo_root
 
-        committed = json.loads((repo_root() / "BENCH_6.json").read_text())
+        committed = json.loads((repo_root() / "BENCH_9.json").read_text())
         assert committed["mode"] == "full"
-        speedups = committed["baseline"]["speedup_events_per_second"]
-        assert set(speedups) == set(committed["scenarios"])
-        # The floor this PR's optimisation work claims.
-        assert all(ratio >= 1.5 for ratio in speedups.values())
+        assert set(committed["scenarios"]) == _MACRO_NAMES
+        # Full documents embed the smoke outcomes CI diffs against.
+        assert set(committed["smoke_determinism"]) == _MACRO_NAMES
+        ratios = committed["baseline"]["speedup_events_per_second"]
+        # The floors this PR's scale-up work claims, measured back-to-back
+        # against the pre-PR core on the events/sec rate (the wall-time
+        # ratios are also recorded but depend on suite ordering: the
+        # SF-1000 scenario runs right after the million-key heap).
+        assert ratios["macro-million-keys"] >= 3.0
+        assert ratios["macro-sf-1000"] >= 1.5
 
 
 class TestCli:
     def test_parser_flags(self):
-        arguments = build_parser().parse_args(["--smoke"])
+        arguments = build_parser().parse_args(["--smoke", "--check"])
         assert arguments.smoke is True
         assert arguments.output is None
         assert arguments.baseline is None
+        assert arguments.check is not None
