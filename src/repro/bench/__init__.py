@@ -5,9 +5,9 @@ pin *behaviour*, byte for byte, not to stress the event loop.  This package
 holds the complement: a pinned set of **macro** scenarios (scaled-up
 variants of the golden workload shapes) that run long enough for wall time
 to mean something, plus the measurement loop that times them and writes a
-machine-readable summary to ``BENCH_9.json`` at the repository root.
+machine-readable summary to ``BENCH_10.json`` at the repository root.
 
-Five macro shapes, mirroring where profiles show the simulator spends its
+Six macro shapes, mirroring where profiles show the simulator spends its
 time:
 
 * ``macro-sf-heavy`` — a scale-factor-heavy single-device run (four tenants
@@ -28,12 +28,16 @@ time:
 * ``macro-sf-1000`` — one TPC-H Q5 tenant at SF-1000 (~177k subplans, all
   ~952 objects cached): dominated by segment filtering, hash-table builds
   and the n-ary join.
+* ``macro-heterogeneous-fleet`` — a mixed fast/slow eight-device R=2 fleet
+  at SF-50 with profile-weighted placement, ewma-latency routing and the
+  feedback rebalancer ticking: exercises weighted ring builds, per-request
+  EWMA updates and reweight-epoch placement diffs.
 
 Each measurement separates the build / run / report phases, counts events
 actually *dispatched* by the simulation core, and derives events/second
 from the run phase alone.  ``--smoke`` shrinks every scenario to seconds
 for CI; the full suite is for before/after comparisons when touching the
-hot paths.  Numbers in a committed ``BENCH_9.json`` are machine-dependent:
+hot paths.  Numbers in a committed ``BENCH_10.json`` are machine-dependent:
 compare ratios measured on one machine, never absolute times across two.
 ``events_dispatched`` and ``simulated_time`` however are deterministic, so
 the committed document doubles as a drift detector: ``--check`` re-runs the
@@ -56,8 +60,10 @@ from repro.fleet.spec import (
     DeviceFailure,
     DeviceJoin,
     DeviceLeave,
+    DeviceProfile,
     FleetSpec,
     MigrationThrottle,
+    RebalancePolicy,
 )
 from repro.scenarios.arrivals import BurstyArrival
 from repro.scenarios.runner import ScenarioRunner
@@ -66,7 +72,7 @@ from repro.scenarios.spec import ScenarioSpec, uniform_tenants
 BENCH_SCHEMA_VERSION = 2
 
 #: Committed output file, numbered by the PR that last re-measured it.
-DEFAULT_OUTPUT_NAME = "BENCH_9.json"
+DEFAULT_OUTPUT_NAME = "BENCH_10.json"
 
 
 def repo_root() -> Path:
@@ -138,6 +144,31 @@ def macro_specs(smoke: bool = False) -> List[ScenarioSpec]:
                 "tenant at the small scale with everything cached.",
                 tenants=uniform_tenants(1, "tpch:q5", cache_capacity=256),
                 scale="small",
+                seed=42,
+            ),
+            ScenarioSpec(
+                name="macro-heterogeneous-fleet",
+                description="Smoke-sized load-aware run: four Q12 tenants "
+                "on a mixed fast/slow three-device R=2 fleet with "
+                "profile-weighted placement, ewma-latency routing and the "
+                "feedback rebalancer ticking.",
+                tenants=uniform_tenants(4, "tpch:q12", cache_capacity=8),
+                scale="tiny",
+                fleet=FleetSpec(
+                    devices=3,
+                    replication=2,
+                    replica_policy="ewma-latency",
+                    weighting="profile",
+                    profiles=(
+                        DeviceProfile(
+                            device=1, switch_seconds=40.0, transfer_seconds=19.2
+                        ),
+                        DeviceProfile(
+                            device=2, switch_seconds=5.0, transfer_seconds=4.8
+                        ),
+                    ),
+                    rebalance=RebalancePolicy(interval_seconds=150.0),
+                ),
                 seed=42,
             ),
         ]
@@ -225,6 +256,42 @@ def macro_specs(smoke: bool = False) -> List[ScenarioSpec]:
             "dominate.",
             tenants=uniform_tenants(1, "tpch:q5", cache_capacity=1024),
             scale="sf1000",
+            seed=42,
+        ),
+        ScenarioSpec(
+            name="macro-heterogeneous-fleet",
+            description="Load-aware macro: eight Q12 tenants at SF-50 on a "
+            "mixed fast/slow eight-device R=2 fleet — two stragglers at 2x "
+            "transfer cost, two next-gen devices at half — with "
+            "profile-weighted placement, ewma-latency routing and the "
+            "feedback rebalancer ticking every 300 simulated seconds.  "
+            "Weighted ring builds, per-request EWMA updates and "
+            "reweight-epoch placement diffs dominate.",
+            tenants=uniform_tenants(
+                8, "tpch:q12", cache_capacity=8, repetitions=4
+            ),
+            scale="sf50",
+            fleet=FleetSpec(
+                devices=8,
+                replication=2,
+                replica_policy="ewma-latency",
+                weighting="profile",
+                profiles=(
+                    DeviceProfile(
+                        device=2, switch_seconds=40.0, transfer_seconds=19.2
+                    ),
+                    DeviceProfile(
+                        device=3, switch_seconds=40.0, transfer_seconds=19.2
+                    ),
+                    DeviceProfile(
+                        device=6, switch_seconds=5.0, transfer_seconds=4.8
+                    ),
+                    DeviceProfile(
+                        device=7, switch_seconds=5.0, transfer_seconds=4.8
+                    ),
+                ),
+                rebalance=RebalancePolicy(interval_seconds=300.0),
+            ),
             seed=42,
         ),
     ]
@@ -347,7 +414,7 @@ def run_benchmarks(
     trace: bool = False,
     profile_dir: Optional[Path] = None,
 ) -> Dict[str, Any]:
-    """Run the macro suite and assemble the ``BENCH_9.json`` document.
+    """Run the macro suite and assemble the ``BENCH_10.json`` document.
 
     Full-mode documents additionally embed the smoke suite's deterministic
     outcomes (``smoke_determinism``), so a committed full document is the
@@ -360,7 +427,7 @@ def run_benchmarks(
     total_events = sum(entry["events_dispatched"] for entry in scenarios.values())
     document = {
         "schema_version": BENCH_SCHEMA_VERSION,
-        "benchmark": "BENCH_9",
+        "benchmark": "BENCH_10",
         "mode": "smoke" if smoke else "full",
         "traced": bool(trace),
         "python": platform.python_version(),

@@ -1,6 +1,6 @@
 """CLI for the macro-benchmark harness.
 
-Run the pinned macro scenarios and write ``BENCH_9.json``::
+Run the pinned macro scenarios and write ``BENCH_10.json``::
 
     python -m repro.bench                 # full suite (minutes)
     python -m repro.bench --smoke         # CI-sized (seconds)
@@ -14,7 +14,7 @@ per-scenario speedup ratios in the output.  ``--profile DIR`` runs every
 scenario under cProfile and dumps ``DIR/<scenario>.pstats`` files (wall
 times are then inflated by the profiler).  ``--check [PATH]`` diffs the
 run's deterministic outcomes (``events_dispatched``, ``simulated_time``)
-against a committed document (default: the repo-root ``BENCH_9.json``) and
+against a committed document (default: the repo-root ``BENCH_10.json``) and
 exits non-zero on any drift — wall times are never compared.
 """
 
@@ -38,7 +38,7 @@ from repro.bench import (
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Run the pinned macro benchmarks and write BENCH_9.json.",
+        description="Run the pinned macro benchmarks and write BENCH_10.json.",
     )
     parser.add_argument(
         "--smoke",

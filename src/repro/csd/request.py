@@ -33,8 +33,9 @@ class MigrationJob:
     __slots__ = ("object_key", "direction", "seconds", "epoch", "reason", "notify")
 
     #: Why the copy happens: a membership rebalance (join/leave), read-repair
-    #: after a fail-stop loss, or write-path re-replication (R raised).
-    KNOWN_REASONS = ("rebalance", "repair", "replicate")
+    #: after a fail-stop loss, write-path re-replication (R raised), or a
+    #: feedback-driven placement reweight.
+    KNOWN_REASONS = ("rebalance", "repair", "replicate", "reweight")
 
     def __init__(
         self,
@@ -82,6 +83,7 @@ class GetRequest:
         "complete_time",
         "disk_group",
         "owner",
+        "routed_at",
     )
 
     def __init__(
@@ -107,6 +109,10 @@ class GetRequest:
         #: Fleet member currently serving the request (router-internal);
         #: storing it here avoids a million-entry owner dict in the router.
         self.owner: Optional[object] = None
+        #: Simulated time the router last dispatched the request (re-stamped
+        #: on failover); completion minus this feeds the per-device latency
+        #: EWMA behind adaptive routing.
+        self.routed_at: Optional[float] = None
 
     @property
     def table_name(self) -> str:

@@ -46,7 +46,7 @@ class EpochRecord:
 
     epoch: int
     at_seconds: float
-    kind: str  # "join" | "leave" | "failure" | "set-replication"
+    kind: str  # "join" | "leave" | "failure" | "set-replication" | "reweight"
     device_id: str
     devices_before: int
     devices_after: int
@@ -252,6 +252,21 @@ class FleetMembership:
             )
         self.replication = replication
         epoch = self._advance("set-replication", "fleet", at_seconds)
+        record = replace(epoch, devices_after=serving)
+        self.epoch_log.append(record)
+        return record
+
+    def reweight(self, at_seconds: float) -> EpochRecord:
+        """Open a new epoch for a placement reweight (roster untouched).
+
+        The feedback rebalancer changes no member's life-cycle state — only
+        the capacity weights the ring is built from — but the placement
+        still moves, so the change must be epoch-versioned like any other
+        recompute: reports and invariants attribute the resulting migration
+        plan to this record.
+        """
+        serving = len(self.serving_ids())
+        epoch = self._advance("reweight", "fleet", at_seconds)
         record = replace(epoch, devices_after=serving)
         self.epoch_log.append(record)
         return record

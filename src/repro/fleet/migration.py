@@ -53,7 +53,7 @@ class MigrationPlan:
 
     epoch: int
     at_seconds: float
-    kind: str  # "join" | "leave" | "repair" | "set-replication"
+    kind: str  # "join" | "leave" | "repair" | "set-replication" | "reweight"
     device_id: str
     moves: List[KeyMove]
     total_keys: int
@@ -104,9 +104,12 @@ class MigrationPlan:
         change is the one legitimate full sweep: raising R gives *every* key
         a new replica, so its bound is all K keys — as is any plan over a
         placement without the hash-minimality guarantee (a repair on a
-        round-robin fleet re-places nearly everything by design).
+        round-robin fleet re-places nearly everything by design).  A
+        ``reweight`` epoch shares the full-sweep bound: shifting capacity
+        weights resizes every device's arc share at once, so the fraction
+        moved is set by the weight delta, not by 1/N.
         """
-        if self.kind == "set-replication" or not self.hash_minimal:
+        if self.kind in ("set-replication", "reweight") or not self.hash_minimal:
             return self.total_keys
         smaller_fleet = max(1, min(self.devices_before, self.devices_after))
         return min(

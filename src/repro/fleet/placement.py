@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, List, Optional, Sequence, Tuple
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.exceptions import PlacementError
+from repro.exceptions import ConfigurationError, PlacementError
 
 #: Placement policy names resolvable by :func:`build_placement`.
 KNOWN_PLACEMENTS = ("consistent-hash", "round-robin")
@@ -26,6 +27,35 @@ KNOWN_PLACEMENTS = ("consistent-hash", "round-robin")
 #: Vnodes per device on the consistent-hash ring.  More vnodes smooth the
 #: per-device share of the key space at the cost of a larger ring.
 DEFAULT_VIRTUAL_NODES = 64
+
+
+def normalize_weights(weights: Mapping[str, float]) -> Dict[str, float]:
+    """Mean-normalise per-device capacity weights to average exactly 1.0.
+
+    A normalised weight of 1.0 means "vanilla device": it gets the default
+    vnode count.  Degenerate inputs (empty mapping, zero/negative/non-finite
+    weights) raise :class:`~repro.exceptions.ConfigurationError` rather than
+    silently collapsing to uniform or NaN shares.  All-equal inputs map to
+    exactly 1.0 each — not merely approximately — so an equally-weighted
+    ring is byte-identical to an unweighted one.
+    """
+    if not weights:
+        raise ConfigurationError("capacity weights must be a non-empty mapping")
+    for device_id, weight in weights.items():
+        if isinstance(weight, bool) or not isinstance(weight, (int, float)):
+            raise ConfigurationError(
+                f"capacity weight for {device_id!r} must be a number, got {weight!r}"
+            )
+        if not math.isfinite(weight) or weight <= 0:
+            raise ConfigurationError(
+                f"capacity weight for {device_id!r} must be finite and "
+                f"positive, got {weight!r}"
+            )
+    values = list(weights.values())
+    if all(value == values[0] for value in values):
+        return {device_id: 1.0 for device_id in weights}
+    mean = math.fsum(values) / len(values)
+    return {device_id: weight / mean for device_id, weight in weights.items()}
 
 
 def stable_hash(text: str) -> int:
@@ -105,12 +135,15 @@ class RoundRobinPlacement(PlacementPolicy):
 
 
 class ConsistentHashPlacement(PlacementPolicy):
-    """Classic consistent hashing with virtual nodes and R-way replication.
+    """Consistent hashing with (optionally weighted) virtual nodes and R-way
+    replication.
 
-    Each device contributes ``virtual_nodes`` points on a 64-bit ring; a key
-    is owned by the first R *distinct* devices found walking clockwise from
-    the key's hash.  Adding one device to an N-device ring relocates only
-    ~K/(N+1) of K keys.
+    Each device contributes ``virtual_nodes`` points on a 64-bit ring — or,
+    once :meth:`set_weights` installs capacity weights, a vnode count
+    proportional to its weight — and a key is owned by the first R *distinct*
+    devices found walking clockwise from the key's hash.  Adding one device
+    to an N-device ring relocates only ~K/(N+1) of K keys; reweighting a
+    device shifts only the arcs its gained/lost vnodes cover.
     """
 
     name = "consistent-hash"
@@ -120,12 +153,53 @@ class ConsistentHashPlacement(PlacementPolicy):
         if virtual_nodes < 1:
             raise PlacementError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
         self.virtual_nodes = virtual_nodes
-        self._ring_cache: Dict[Tuple[str, ...], Tuple[List[int], List[str]]] = {}
-        #: (roster, R) -> replica tuple per ring arc; see :meth:`_segments`.
+        #: Mean-normalised capacity weights; empty = uniform (every device
+        #: contributes exactly ``virtual_nodes`` points).
+        self._weights: Dict[str, float] = {}
+        self._ring_cache: Dict[
+            Tuple[Tuple[str, ...], Tuple[int, ...]], Tuple[List[int], List[str]]
+        ] = {}
+        #: (roster, vnode counts, R) -> replica tuple per ring arc; see
+        #: :meth:`_segments`.
         self._segment_cache: Dict[
-            Tuple[Tuple[str, ...], int], Tuple[List[int], List[Tuple[str, ...]]]
+            Tuple[Tuple[str, ...], Tuple[int, ...], int],
+            Tuple[List[int], List[Tuple[str, ...]]],
         ] = {}
         self._key_hash_cache: Dict[str, int] = {}
+
+    def set_weights(self, weights: Optional[Mapping[str, float]]) -> None:
+        """Install capacity weights driving per-device vnode counts.
+
+        ``None`` (or an empty mapping) resets the ring to uniform.  Weights
+        are mean-normalised (see :func:`normalize_weights`); devices absent
+        from the mapping default to weight 1.0.  Rings for every distinct
+        (roster, counts) pair stay cached, so flipping between weight sets
+        (old vs new epoch) costs nothing after the first build.
+        """
+        if not weights:
+            self._weights = {}
+            return
+        self._weights = normalize_weights(weights)
+
+    @property
+    def weights(self) -> Dict[str, float]:
+        """The installed mean-normalised weights (empty = uniform)."""
+        return dict(self._weights)
+
+    def vnode_counts(self, device_ids: Sequence[str]) -> Tuple[int, ...]:
+        """Per-device ring point counts under the installed weights.
+
+        A device of normalised weight *w* contributes
+        ``max(1, round(virtual_nodes * w))`` points, so weight 1.0 yields
+        exactly ``virtual_nodes`` — an all-equal-weights ring is
+        byte-identical to the unweighted one.
+        """
+        if not self._weights:
+            return (self.virtual_nodes,) * len(device_ids)
+        return tuple(
+            max(1, round(self.virtual_nodes * self._weights.get(device_id, 1.0)))
+            for device_id in device_ids
+        )
 
     def key_hash(self, object_key: str) -> int:
         """Memoised :func:`stable_hash` of an object key."""
@@ -152,14 +226,28 @@ class ConsistentHashPlacement(PlacementPolicy):
             append(value)
         return hashes
 
-    def _ring(self, device_ids: Sequence[str]) -> Tuple[List[int], List[str]]:
-        cache_key = tuple(device_ids)
+    def _ring(
+        self, device_ids: Sequence[str], vnode_counts: Optional[Sequence[int]] = None
+    ) -> Tuple[List[int], List[str]]:
+        counts = (
+            tuple(vnode_counts) if vnode_counts is not None else self.vnode_counts(device_ids)
+        )
+        if len(counts) != len(device_ids):
+            raise PlacementError(
+                f"vnode_counts has {len(counts)} entries for "
+                f"{len(device_ids)} devices"
+            )
+        cache_key = (tuple(device_ids), counts)
         cached = self._ring_cache.get(cache_key)
         if cached is not None:
             return cached
         points: List[Tuple[int, str]] = []
-        for device_id in device_ids:
-            for vnode in range(self.virtual_nodes):
+        for device_id, count in zip(device_ids, counts):
+            if count < 1:
+                raise PlacementError(
+                    f"device {device_id!r} needs at least one vnode, got {count}"
+                )
+            for vnode in range(count):
                 points.append((stable_hash(f"{device_id}#{vnode}"), device_id))
         # Ties between devices at the same ring point are broken by device id
         # so the ring is independent of the listing order of the fleet.
@@ -170,7 +258,10 @@ class ConsistentHashPlacement(PlacementPolicy):
         return hashes, owners
 
     def _segments(
-        self, device_ids: Sequence[str], replication: int
+        self,
+        device_ids: Sequence[str],
+        replication: int,
+        vnode_counts: Optional[Sequence[int]] = None,
     ) -> Tuple[List[int], List[Tuple[str, ...]]]:
         """Ring hashes plus the replica tuple owning each ring arc.
 
@@ -181,11 +272,14 @@ class ConsistentHashPlacement(PlacementPolicy):
         (roster, R) turns per-key placement into a bisect plus a list
         lookup, and lets epoch diffs compare arcs instead of keys.
         """
-        cache_key = (tuple(device_ids), replication)
+        counts = (
+            tuple(vnode_counts) if vnode_counts is not None else self.vnode_counts(device_ids)
+        )
+        cache_key = (tuple(device_ids), counts, replication)
         cached = self._segment_cache.get(cache_key)
         if cached is not None:
             return cached
-        hashes, owners = self._ring(device_ids)
+        hashes, owners = self._ring(device_ids, counts)
         ring_size = len(hashes)
         replicas_by_arc: List[Tuple[str, ...]] = []
         for position in range(ring_size):
@@ -246,8 +340,11 @@ class ConsistentHashPlacement(PlacementPolicy):
         new_device_ids: Sequence[str],
         old_replication: int,
         new_replication: int,
+        old_vnode_counts: Optional[Sequence[int]] = None,
+        new_vnode_counts: Optional[Sequence[int]] = None,
     ) -> Dict[str, Tuple[str, ...]]:
-        """Keys whose replica tuple differs between two (roster, R) epochs.
+        """Keys whose replica tuple differs between two (roster, counts, R)
+        epochs.
 
         ``sorted_key_hashes`` is the full key population as ``(hash, key)``
         pairs sorted ascending (computed once per run — key hashes never
@@ -255,8 +352,13 @@ class ConsistentHashPlacement(PlacementPolicy):
         arc boundaries; runs of keys falling into arcs with identical old
         and new replica tuples are skipped in one bisect jump, so the cost
         is O(changed ranges + ring size) instead of a full re-placement of
-        every key.  Returns ``{key: new_replicas}`` for exactly the keys a
-        full old-vs-new placement diff would report as changed.
+        every key — weighted or not.  ``old_vnode_counts`` /
+        ``new_vnode_counts`` identify each epoch's (possibly weighted) ring;
+        ``None`` means the uniform ring (``virtual_nodes`` points per
+        device), *not* the currently installed weights — callers diffing a
+        reweight pass both explicitly.  Returns ``{key: new_replicas}`` for
+        exactly the keys a full old-vs-new placement diff would report as
+        changed.
         """
         if not new_device_ids:
             raise PlacementError("placement requires at least one device")
@@ -267,8 +369,16 @@ class ConsistentHashPlacement(PlacementPolicy):
                 f"replication factor {new_replication} exceeds fleet size "
                 f"{len(new_device_ids)}"
             )
-        old_hashes, old_arcs = self._segments(old_device_ids, old_replication)
-        new_hashes, new_arcs = self._segments(new_device_ids, new_replication)
+        if old_vnode_counts is None:
+            old_vnode_counts = (self.virtual_nodes,) * len(old_device_ids)
+        if new_vnode_counts is None:
+            new_vnode_counts = (self.virtual_nodes,) * len(new_device_ids)
+        old_hashes, old_arcs = self._segments(
+            old_device_ids, old_replication, old_vnode_counts
+        )
+        new_hashes, new_arcs = self._segments(
+            new_device_ids, new_replication, new_vnode_counts
+        )
         old_size = len(old_hashes)
         new_size = len(new_hashes)
         key_hashes = [pair[0] for pair in sorted_key_hashes]

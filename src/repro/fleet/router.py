@@ -10,7 +10,14 @@ sharded fleet.
 Responsibilities:
 
 * **Routing** — every GET is dispatched to one live replica of its object,
-  chosen by the replica policy (primary-first or least-loaded).
+  chosen by the replica policy: primary-first, least-loaded (queue length),
+  ewma-latency (smoothed service time × queue depth) or weighted (queue
+  depth discounted by capacity weight).  Completions feed a per-device
+  latency EWMA in simulated time, so adaptive policies stay deterministic.
+* **Load-aware placement** — capacity weights (static speed factors under
+  ``weighting="profile"``, or observed service rates when the feedback
+  rebalancer triggers) size each device's vnode share on the consistent-hash
+  ring; an all-equal-weight fleet is byte-identical to an unweighted one.
 * **Membership** — the device roster is epoch-versioned
   (:class:`~repro.fleet.membership.FleetMembership`): a
   :class:`~repro.fleet.spec.DeviceJoin` or
@@ -45,16 +52,21 @@ from repro.csd.layout import LayoutPolicy, extend_layout_with_keys
 from repro.csd.object_store import ObjectStore, split_object_key
 from repro.csd.request import GetRequest, MigrationJob
 from repro.csd.scheduler import IOScheduler
-from repro.exceptions import FleetError
+from repro.exceptions import ConfigurationError, FleetError
 from repro.fleet.membership import FleetMembership, MemberRecord
 from repro.fleet.migration import MigrationPlan, plan_migration
-from repro.obs import NULL_TRACER, MetricsRegistry
-from repro.fleet.placement import ConsistentHashPlacement, build_placement
+from repro.obs import NULL_TRACER, Ewma, MetricsRegistry
+from repro.fleet.placement import (
+    ConsistentHashPlacement,
+    build_placement,
+    normalize_weights,
+)
 from repro.fleet.spec import (
     DeviceFailure,
     DeviceJoin,
     DeviceLeave,
     FleetSpec,
+    RebalancePolicy,
     SetReplication,
     device_name,
 )
@@ -81,6 +93,14 @@ class FleetMember:
     requests_routed: int = 0
     #: Routed but not yet completed (drives the least-loaded policy).
     outstanding: int = 0
+    #: Normalised capacity weight (1.0 on a uniform ring); sizes the device's
+    #: vnode share and divides its queue under the ``weighted`` policy.
+    weight: float = 1.0
+    #: Per-device EWMA of request latency (routed → completed), in simulated
+    #: seconds; feeds the ``ewma-latency`` policy and the rebalancer.
+    ewma: Optional[Ewma] = None
+    #: Sum of completed-request latencies (mean = sum / ewma.count).
+    latency_sum: float = 0.0
 
     def busy_seconds(self) -> float:
         if self.device is None:
@@ -110,6 +130,9 @@ class FleetRouterStats:
         "_failed_over",
         "_handed_off",
         "_dropped_migration_jobs",
+        "_choice_primary",
+        "_choice_diverted",
+        "request_latency",
     )
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
@@ -125,6 +148,13 @@ class FleetRouterStats:
         self._dropped_migration_jobs = registry.counter(
             "router.dropped_migration_jobs"
         )
+        #: Replica-choice split: requests served by their placement primary
+        #: vs diverted to another replica by the replica policy.
+        self._choice_primary = registry.counter("router.replica_choice.primary")
+        self._choice_diverted = registry.counter("router.replica_choice.diverted")
+        #: Fleet-wide routed→completed latency (simulated seconds); its raw
+        #: samples back the p50/p95/p99 figures in the routing report section.
+        self.request_latency = registry.histogram("router.request_latency_seconds")
         self.per_tenant_device_served: Dict[str, Dict[str, int]] = {}
 
     @property
@@ -158,6 +188,14 @@ class FleetRouterStats:
     @dropped_migration_jobs.setter
     def dropped_migration_jobs(self, value: int) -> None:
         self._dropped_migration_jobs.value = value
+
+    @property
+    def choice_primary(self) -> int:
+        return self._choice_primary.value
+
+    @property
+    def choice_diverted(self) -> int:
+        return self._choice_diverted.value
 
     def record_served(self, tenant: str, device_id: str) -> None:
         per_device = self.per_tenant_device_served.setdefault(tenant, {})
@@ -214,6 +252,22 @@ class FleetRouter:
             fleet_spec.replication,
             virtual_nodes=fleet_spec.virtual_nodes,
         )
+        self.members: List[FleetMember] = []
+        self._member_by_id: Dict[str, FleetMember] = {}
+        #: Raw (un-normalised) capacity weights the weighted ring is built
+        #: from: static speed factors under ``weighting="profile"``, observed
+        #: 1/EWMA-latency rates once the feedback rebalancer triggers.
+        #: Empty = uniform ring (every device gets ``virtual_nodes`` vnodes).
+        self._raw_weights: Dict[str, float] = {}
+        #: Weights normalised over the current roster (mean 1.0), as
+        #: installed on the ring; mirrored onto ``FleetMember.weight``.
+        self._member_weights: Dict[str, float] = {}
+        if fleet_spec.weighting == "profile":
+            for record in self.membership.records:
+                self._raw_weights[record.device_id] = self._profile_weight(
+                    record.config
+                )
+        self._install_weights(list(fleet_spec.device_ids))
         #: Replication factor the current placement was computed at (tracks
         #: ``SetReplication`` events and repair under device loss).
         self.placement_replication = fleet_spec.replication
@@ -231,11 +285,18 @@ class FleetRouter:
                 list(fleet_spec.device_ids),
                 sorted_key_hashes=self._sorted_key_hashes,
             )
+            #: Per-device vnode counts the current placement's ring used,
+            #: aligned with ``_placement_roster``; epoch diffs pass the old
+            #: and new counts so weighted rings diff correctly.
+            self._placement_vnode_counts: Tuple[int, ...] = (
+                self._policy.vnode_counts(list(fleet_spec.device_ids))
+            )
         else:
             self._sorted_key_hashes = []
             self.placement = self._policy.place(
                 self._key_order, list(fleet_spec.device_ids)
             )
+            self._placement_vnode_counts = ()
         #: Roster the current placement was computed over; paired with
         #: ``placement_replication`` it identifies the old epoch's ring for
         #: incremental placement diffs.
@@ -255,9 +316,10 @@ class FleetRouter:
         #: Per-epoch replication health: under-replicated key counts sampled
         #: when each epoch opened (before its plan ran) and after.
         self.replication_log: List[Dict[str, object]] = []
+        #: Feedback-rebalancer tick log: one entry per controller interval
+        #: (imbalance observed, whether a reweight fired, and why not).
+        self.rebalance_log: List[Dict[str, object]] = []
 
-        self.members: List[FleetMember] = []
-        self._member_by_id: Dict[str, FleetMember] = {}
         subsets = self._invert_placement()
         for record in self.membership.records:
             self._create_member(record, subsets.get(record.device_id, {}))
@@ -281,10 +343,51 @@ class FleetRouter:
             self.admin_processes.append(
                 env.process(self._membership_event(event), name=name)
             )
+        if fleet_spec.rebalance is not None:
+            self.admin_processes.append(
+                env.process(
+                    self._rebalance_controller(fleet_spec.rebalance),
+                    name="fleet-rebalancer",
+                )
+            )
 
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
+    def _profile_weight(self, config: DeviceConfig) -> float:
+        """Static capacity weight of a device: its speed-up over the base
+        config's transfer rate (a device twice as fast weighs 2.0)."""
+        base = self.membership.base_config.transfer_seconds_per_object
+        if base <= 0 or config.transfer_seconds_per_object <= 0:
+            raise ConfigurationError(
+                "profile weighting requires positive transfer_seconds_per_object "
+                f"(base={base!r}, device={config.transfer_seconds_per_object!r})"
+            )
+        return base / config.transfer_seconds_per_object
+
+    def _install_weights(self, roster: Sequence[str]) -> None:
+        """(Re-)normalise the raw weights over ``roster`` onto the ring.
+
+        Normalisation is always over the devices actually in the roster, so
+        a join or leave re-centres everyone's weight around mean 1.0 — the
+        property that keeps an all-equal fleet byte-identical to an
+        unweighted one.  A no-op on uniform fleets and non-ring placements.
+        """
+        if not self._raw_weights or not isinstance(
+            self._policy, ConsistentHashPlacement
+        ):
+            return
+        subset = {
+            device_id: self._raw_weights[device_id]
+            for device_id in roster
+            if device_id in self._raw_weights
+        }
+        weights = normalize_weights(subset) if subset else {}
+        self._policy.set_weights(weights if weights else None)
+        self._member_weights = weights
+        for member in self.members:
+            member.weight = weights.get(member.device_id, 1.0)
+
     def _holds_object(self, device_id: str, object_key: str) -> bool:
         """Whether ``device_id`` already physically stores ``object_key``."""
         member = self._member_by_id.get(device_id)
@@ -362,6 +465,8 @@ class FleetRouter:
             device=device,
             object_keys=member_keys,
             joined_at=record.joined_at,
+            weight=self._member_weights.get(record.device_id, 1.0),
+            ewma=Ewma(self.spec.ewma_alpha),
         )
         self.members.append(member)
         self._member_by_id[record.device_id] = member
@@ -375,6 +480,7 @@ class FleetRouter:
         member = self._choose_replica(request.object_key)
         member.requests_routed += 1
         member.outstanding += 1
+        request.routed_at = self.env.now
         self.stats._requests_routed.value += 1
         if self.tracer.enabled:
             self.tracer.route(
@@ -419,6 +525,14 @@ class FleetRouter:
                     f"device {member.device_id!r} completed more requests "
                     "than were routed to it (outstanding went negative)"
                 )
+            if request.routed_at is not None and member.ewma is not None:
+                # Routed→completed latency on the *final* owner (failover
+                # re-stamps routed_at, so a re-routed request charges only
+                # its last leg — the one this device actually served).
+                latency = self.env.now - request.routed_at
+                member.ewma.observe(latency)
+                member.latency_sum += latency
+                self.stats.request_latency.observe(latency)
             tenant = request.object_key.partition("/")[0]
             self.stats.record_served(tenant, member.device_id)
 
@@ -430,11 +544,13 @@ class FleetRouter:
         except KeyError:
             raise FleetError(f"object {object_key!r} is not placed on any device") from None
         members = self._member_by_id
-        if self.spec.replica_policy != "least-loaded":
+        policy = self.spec.replica_policy
+        if policy == "primary-first":
             # Primary-first fast path: the answer is the first live replica,
             # so a healthy primary skips building the live-member list.
             primary = members[replicas[0]]
             if primary.alive:
+                self.stats._choice_primary.value += 1
                 return primary
         live = [
             members[device_id]
@@ -445,11 +561,33 @@ class FleetRouter:
             raise FleetError(
                 f"every replica of {object_key!r} is dead ({', '.join(replicas)})"
             )
-        if self.spec.replica_policy == "least-loaded":
-            # Replica order breaks ties, so equally loaded fleets behave
-            # exactly like primary-first (deterministic either way).
-            return min(live, key=lambda member: member.outstanding)
-        return live[0]
+        # ``min`` keeps the first of equally scored members and ``live`` is
+        # in replica order, so every policy degrades to primary-first on
+        # ties (deterministic either way).
+        if policy == "least-loaded":
+            chosen = min(live, key=lambda member: member.outstanding)
+        elif policy == "ewma-latency":
+            # Expected wait: smoothed service time × queue depth.  An
+            # unsampled device scores 0.0, so cold replicas get probed
+            # before the EWMA starts steering traffic.
+            chosen = min(
+                live,
+                key=lambda member: (
+                    member.ewma.value_or(0.0) if member.ewma is not None else 0.0
+                )
+                * (member.outstanding + 1),
+            )
+        elif policy == "weighted":
+            # Queue depth discounted by capacity: a device weighing 2.0
+            # absorbs twice the outstanding work before being passed over.
+            chosen = min(live, key=lambda member: member.outstanding / member.weight)
+        else:
+            chosen = live[0]
+        if chosen.device_id == replicas[0]:
+            self.stats._choice_primary.value += 1
+        else:
+            self.stats._choice_diverted.value += 1
+        return chosen
 
     # ------------------------------------------------------------------ #
     # Failure handling (fail-stop: epoch advances; with ``repair`` the lost
@@ -500,6 +638,10 @@ class FleetRouter:
 
     def _apply_join(self, event: DeviceJoin) -> None:
         record = self.membership.join(event, self.env.now)
+        if self.spec.weighting == "profile":
+            # The joiner's speed factor enters the raw weight set here; the
+            # rebalance below re-normalises over the whole serving roster.
+            self._raw_weights[record.device_id] = self._profile_weight(record.config)
         self._create_member(record, {})
         self._rebalance("join", record.device_id)
 
@@ -528,6 +670,90 @@ class FleetRouter:
         affected keys, as one epoch with its own migration plan."""
         self.membership.set_replication(event.replication, self.env.now)
         self._rebalance("set-replication", "fleet", reason="replicate")
+
+    # ------------------------------------------------------------------ #
+    # Feedback rebalancer (periodic controller → reweight epochs)
+    # ------------------------------------------------------------------ #
+    def _rebalance_controller(self, policy: RebalancePolicy):
+        """Periodic imbalance check; runs for the life of the simulation.
+
+        The process never terminates on its own — ``run(until=...)`` simply
+        stops dispatching its timeouts once the target event fires, so ticks
+        scheduled past the end of the workload never happen.
+        """
+        window_start = 0.0
+        while True:
+            yield self.env.timeout(policy.interval_seconds)
+            self._rebalance_tick(policy, window_start, self.env.now)
+            window_start = self.env.now
+
+    def _rebalance_tick(
+        self, policy: RebalancePolicy, window_start: float, now: float
+    ) -> None:
+        """One controller decision over the busy window just ended.
+
+        Imbalance is measured as the coefficient of variation of per-device
+        busy seconds inside the window.  Past the threshold, target weights
+        are set proportional to observed service rate (1 / latency EWMA) —
+        a device answering twice as fast earns twice the arc share — and a
+        ``reweight`` epoch migrates the placement to the new ring through
+        the ordinary throttled-migration machinery.  Every tick appends a
+        log entry stating what it saw and why it did (or did not) act.
+        """
+        from repro.cluster.metrics import imbalance_coefficient
+
+        serving = [
+            self._member_by_id[device_id]
+            for device_id in self.membership.serving_ids()
+        ]
+        busy = [self._window_busy(member, window_start, now) for member in serving]
+        imbalance = imbalance_coefficient(busy)
+        entry: Dict[str, object] = {
+            "at_seconds": now,
+            "window_start": window_start,
+            "epoch": self.membership.epoch,
+            "imbalance_coefficient": imbalance,
+            "triggered": False,
+            "outcome": "below-threshold",
+        }
+        if imbalance > policy.imbalance_threshold:
+            if any(
+                member.ewma is None
+                or member.ewma.count == 0
+                or member.ewma.value <= 0
+                for member in serving
+            ):
+                # A device nobody has completed a request on yet has no
+                # observed rate; acting on a half-sampled fleet would swing
+                # weights on noise, so the controller waits a window.
+                entry["outcome"] = "insufficient-samples"
+            else:
+                raw = {
+                    member.device_id: 1.0 / member.ewma.value  # type: ignore[union-attr]
+                    for member in serving
+                }
+                target = normalize_weights(raw)
+                current = {
+                    member.device_id: self._member_weights.get(member.device_id, 1.0)
+                    for member in serving
+                }
+                delta = max(
+                    abs(target[device_id] - current[device_id])
+                    for device_id in target
+                )
+                entry["max_weight_delta"] = delta
+                if delta < policy.min_weight_delta:
+                    entry["outcome"] = "weights-stable"
+                else:
+                    self._raw_weights = raw
+                    self.membership.reweight(now)
+                    self._rebalance("reweight", "fleet", reason="reweight")
+                    entry["triggered"] = True
+                    entry["outcome"] = "reweighted"
+                    entry["weights"] = {
+                        device_id: target[device_id] for device_id in sorted(target)
+                    }
+        self.rebalance_log.append(entry)
 
     def _under_replicated_count(self, placement: Mapping[str, Sequence[str]]) -> int:
         """Keys with fewer live replicas than the current target."""
@@ -573,7 +799,14 @@ class FleetRouter:
         self._policy.replication = replication
         serving = list(self.membership.serving_ids())
         changed_keys: Optional[List[str]] = None
+        new_vnode_counts: Tuple[int, ...] = ()
         if isinstance(self._policy, ConsistentHashPlacement):
+            # The old ring's vnode counts are snapshotted; re-normalising
+            # the weights over the new roster (and any reweight that led
+            # here) yields the new counts, and the diff walks both rings.
+            old_vnode_counts = self._placement_vnode_counts
+            self._install_weights(serving)
+            new_vnode_counts = self._policy.vnode_counts(serving)
             # Only the keys in ring arcs whose replica tuple changed need
             # re-placing; everything else keeps its entry from the old epoch.
             changed = self._policy.diff_keys(
@@ -582,6 +815,8 @@ class FleetRouter:
                 serving,
                 old_replication,
                 replication,
+                old_vnode_counts=old_vnode_counts,
+                new_vnode_counts=new_vnode_counts,
             )
             new_placement = dict(old_placement)
             new_placement.update(changed)
@@ -612,6 +847,7 @@ class FleetRouter:
         self.placement = new_placement
         self.placement_replication = replication
         self._placement_roster = tuple(serving)
+        self._placement_vnode_counts = new_vnode_counts
         self._execute_plan(plan, reason=reason)
         self.migration_plans.append(plan)
         self._record_replication_health(kind, at_open=under_replicated_before)
@@ -880,6 +1116,68 @@ class FleetRouter:
                 if member.device is not None
             ),
             "throttle": throttle_metrics,
+        }
+
+    def routing_metrics(self) -> Dict[str, object]:
+        """The ``routing`` section of the scenario report: replica-choice
+        split, per-device weights/EWMAs, the fleet-wide latency distribution
+        and (when configured) the feedback rebalancer's tick log."""
+        from repro.cluster.metrics import mean, percentile
+
+        vnode_counts: Dict[str, int] = dict(
+            zip(self._placement_roster, self._placement_vnode_counts)
+        )
+        per_device: Dict[str, Dict[str, object]] = {}
+        for member in self.members:
+            completed = member.ewma.count if member.ewma is not None else 0
+            per_device[member.device_id] = {
+                "weight": self._member_weights.get(member.device_id, 1.0),
+                # ``None`` for non-ring placements and devices outside the
+                # current roster (left / failed members keep no arc share).
+                "vnode_count": vnode_counts.get(member.device_id),
+                "completed_requests": completed,
+                "ewma_latency_seconds": (
+                    member.ewma.value
+                    if member.ewma is not None and completed
+                    else None
+                ),
+                "mean_latency_seconds": (
+                    member.latency_sum / completed if completed else None
+                ),
+            }
+        samples = self.stats.request_latency.samples
+        request_latency: Dict[str, object] = {
+            "count": len(samples),
+            "mean": mean(samples),
+            "p50": percentile(samples, 0.50) if samples else 0.0,
+            "p95": percentile(samples, 0.95) if samples else 0.0,
+            "p99": percentile(samples, 0.99) if samples else 0.0,
+            "max": max(samples) if samples else 0.0,
+        }
+        policy = self.spec.rebalance
+        rebalancer: Optional[Dict[str, object]] = None
+        if policy is not None:
+            rebalancer = {
+                "interval_seconds": policy.interval_seconds,
+                "imbalance_threshold": policy.imbalance_threshold,
+                "min_weight_delta": policy.min_weight_delta,
+                "ticks": len(self.rebalance_log),
+                "reweight_epochs": sum(
+                    1 for entry in self.rebalance_log if entry["triggered"]
+                ),
+                "log": list(self.rebalance_log),
+            }
+        return {
+            "replica_policy": self.spec.replica_policy,
+            "weighting": self.spec.weighting,
+            "ewma_alpha": self.spec.ewma_alpha,
+            "replica_choices": {
+                "primary": self.stats.choice_primary,
+                "diverted": self.stats.choice_diverted,
+            },
+            "per_device": per_device,
+            "request_latency": request_latency,
+            "rebalancer": rebalancer,
         }
 
     def metrics(self, total_simulated_time: float) -> Dict[str, object]:

@@ -32,8 +32,19 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.exceptions import ScenarioError
 from repro.fleet.placement import DEFAULT_VIRTUAL_NODES, KNOWN_PLACEMENTS
 
-#: Replica-choice policy names resolvable by the router.
-KNOWN_REPLICA_POLICIES = ("primary-first", "least-loaded")
+#: Replica-choice policy names resolvable by the router.  ``least-loaded``
+#: is the queue-length policy; ``ewma-latency`` scores replicas by expected
+#: wait (EWMA of observed latency times queue depth); ``weighted`` divides
+#: queue length by the device's capacity weight.
+KNOWN_REPLICA_POLICIES = ("primary-first", "least-loaded", "ewma-latency", "weighted")
+
+#: Placement-weighting modes: ``uniform`` keeps the classic hash-uniform
+#: ring; ``profile`` sizes each device's vnode count by its transfer-speed
+#: factor relative to the scenario-wide base device.
+KNOWN_WEIGHTINGS = ("uniform", "profile")
+
+#: Default smoothing factor for the router's per-device latency EWMA.
+DEFAULT_EWMA_ALPHA = 0.3
 
 
 def device_name(index: int) -> str:
@@ -237,6 +248,52 @@ class MigrationThrottle:
         }
 
 
+@dataclass(frozen=True)
+class RebalancePolicy:
+    """Feedback-driven reweighting: watch observed load, re-place past a
+    threshold.
+
+    Every ``interval_seconds`` of simulated time the router computes the
+    imbalance coefficient of per-device busy time over the elapsed window.
+    When it exceeds ``imbalance_threshold`` — and every serving device has
+    at least one latency sample — the controller derives fresh capacity
+    weights from the inverse of each device's latency EWMA, and (unless the
+    weights moved less than ``min_weight_delta`` from the current ones)
+    opens a ``reweight`` epoch whose migration plan executes through the
+    normal throttled-migration machinery.
+    """
+
+    interval_seconds: float
+    imbalance_threshold: float = 0.2
+    #: Minimum max-abs change in any normalised weight for a tick to emit a
+    #: reweight epoch; damps oscillation between near-identical placements.
+    min_weight_delta: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.interval_seconds) or self.interval_seconds <= 0:
+            raise ScenarioError(
+                "rebalance interval_seconds must be finite and positive, "
+                f"got {self.interval_seconds!r}"
+            )
+        if not math.isfinite(self.imbalance_threshold) or self.imbalance_threshold < 0:
+            raise ScenarioError(
+                "rebalance imbalance_threshold must be finite and "
+                f"non-negative, got {self.imbalance_threshold!r}"
+            )
+        if not math.isfinite(self.min_weight_delta) or self.min_weight_delta < 0:
+            raise ScenarioError(
+                "rebalance min_weight_delta must be finite and non-negative, "
+                f"got {self.min_weight_delta!r}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "interval_seconds": self.interval_seconds,
+            "imbalance_threshold": self.imbalance_threshold,
+            "min_weight_delta": self.min_weight_delta,
+        }
+
+
 #: Membership events accepted by ``FleetSpec.events``.
 MembershipEvent = (DeviceJoin, DeviceLeave, SetReplication)
 
@@ -267,6 +324,15 @@ class FleetSpec:
     repair: bool = True
     #: Rate limit on migration/repair I/O; ``None`` keeps strict priority.
     throttle: Optional[MigrationThrottle] = None
+    #: How the consistent-hash ring sizes per-device vnode counts:
+    #: ``uniform`` (hash-uniform key shares, the classic ring) or
+    #: ``profile`` (vnode count ∝ the device's transfer-speed factor).
+    weighting: str = "uniform"
+    #: Smoothing factor of the per-device latency EWMA feeding the
+    #: ``ewma-latency`` policy and the rebalancer (0 < alpha <= 1).
+    ewma_alpha: float = DEFAULT_EWMA_ALPHA
+    #: Feedback-driven reweighting controller; ``None`` disables it.
+    rebalance: Optional[RebalancePolicy] = None
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -292,6 +358,32 @@ class FleetSpec:
             raise ScenarioError(
                 f"throttle must be a MigrationThrottle or None, got {self.throttle!r}"
             )
+        if self.weighting not in KNOWN_WEIGHTINGS:
+            raise ScenarioError(
+                f"unknown weighting {self.weighting!r}; "
+                f"expected one of {sorted(KNOWN_WEIGHTINGS)}"
+            )
+        if self.weighting != "uniform" and self.placement != "consistent-hash":
+            raise ScenarioError(
+                f"weighting {self.weighting!r} requires consistent-hash "
+                f"placement; {self.placement!r} has no ring to weight"
+            )
+        if not math.isfinite(self.ewma_alpha) or not 0 < self.ewma_alpha <= 1:
+            raise ScenarioError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha!r}"
+            )
+        if self.rebalance is not None:
+            if not isinstance(self.rebalance, RebalancePolicy):
+                raise ScenarioError(
+                    f"rebalance must be a RebalancePolicy or None, "
+                    f"got {self.rebalance!r}"
+                )
+            if self.placement != "consistent-hash":
+                raise ScenarioError(
+                    "the feedback rebalancer requires consistent-hash "
+                    f"placement; {self.placement!r} would reshuffle nearly "
+                    "every key on each reweight"
+                )
         self._validate_failures()
         self._validate_events()
         self._validate_timeline()
@@ -495,4 +587,9 @@ class FleetSpec:
             "profiles": [profile.to_dict() for profile in self.profiles],
             "repair": self.repair,
             "throttle": self.throttle.to_dict() if self.throttle is not None else None,
+            "weighting": self.weighting,
+            "ewma_alpha": self.ewma_alpha,
+            "rebalance": (
+                self.rebalance.to_dict() if self.rebalance is not None else None
+            ),
         }

@@ -8,6 +8,9 @@ Two independent pieces live here:
   counters here instead of keeping ad-hoc integer attributes; the scenario
   report sections read the same registry values, so the registry is always
   on and costs exactly what the old attribute counters cost.
+* :mod:`repro.obs.ewma` — a deterministic :class:`Ewma` over simulated-time
+  samples; the fleet router keeps one per device for its ``ewma-latency``
+  replica policy and the feedback rebalancer.
 * :mod:`repro.obs.tracer` — a :class:`Tracer` producing :class:`Span` trees
   stamped with **simulated** time, so traces are byte-deterministic for a
   given spec + seed.  Tracing is opt-in (``ScenarioSpec.trace=True`` or
@@ -22,11 +25,13 @@ into per-query critical-path breakdowns; ``python -m repro.trace`` is its
 CLI.
 """
 
+from repro.obs.ewma import Ewma
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "Counter",
+    "Ewma",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

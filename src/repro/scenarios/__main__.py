@@ -119,10 +119,12 @@ def _render_scenario_table(golden_dir: Optional[Path] = None) -> str:
             devices = f"{spec.fleet.devices} x R{spec.fleet.replication}"
             events = _render_membership(spec.fleet)
             hetero = "mixed" if spec.fleet.heterogeneous else "-"
+            routing = _render_routing(spec.fleet)
         else:
             devices = "1"
             events = "-"
             hetero = "-"
+            routing = "-"
         if spec.admission is not None:
             caps = (
                 spec.admission.max_in_flight,
@@ -142,6 +144,7 @@ def _render_scenario_table(golden_dir: Optional[Path] = None) -> str:
                 devices,
                 events,
                 hetero,
+                routing,
                 admission,
                 f"{budget:.1f}" if budget is not None else "-",
             ]
@@ -155,6 +158,7 @@ def _render_scenario_table(golden_dir: Optional[Path] = None) -> str:
             "devices",
             "membership",
             "hetero",
+            "routing",
             "admission",
             "sim budget (s)",
         ],
@@ -182,6 +186,22 @@ def _render_membership(fleet) -> str:
     for failure in fleet.failures:
         parts.append(f"xcsd{failure.device}@{failure.at_seconds:g}s")
     return " ".join(parts) if parts else "-"
+
+
+def _render_routing(fleet) -> str:
+    """Placement/routing-policy summary for the ``--list`` table.
+
+    Shows ``<placement>/<replica policy>``, with ``+w`` appended when the
+    ring is capacity-weighted (profile weighting) and ``+rb`` when the
+    feedback rebalancer is configured.
+    """
+    placement = "hash" if fleet.placement == "consistent-hash" else fleet.placement
+    summary = f"{placement}/{fleet.replica_policy}"
+    if fleet.weighting != "uniform":
+        summary += "+w"
+    if fleet.rebalance is not None:
+        summary += "+rb"
+    return summary
 
 
 def _digest(report_json: str) -> str:

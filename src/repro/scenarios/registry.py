@@ -23,6 +23,7 @@ from repro.fleet.spec import (
     DeviceProfile,
     FleetSpec,
     MigrationThrottle,
+    RebalancePolicy,
     SetReplication,
 )
 from repro.scenarios.arrivals import BurstyArrival, PoissonArrival, UniformArrival
@@ -456,6 +457,80 @@ def fleet_throttled_rebalance() -> ScenarioSpec:
             replication=1,
             events=(DeviceJoin(device=3, at_seconds=100.0),),
             throttle=MigrationThrottle(objects_per_second=0.1),
+        ),
+        seed=42,
+    )
+
+
+#: Mixed-speed device profiles shared by the load-aware scenario pair: one
+#: straggler at 2x transfer / 4x switch cost, one next-gen device at half
+#: the base transfer time (same shape as ``fleet-heterogeneous``).
+_MIXED_SPEED_PROFILES = (
+    DeviceProfile(device=1, switch_seconds=40.0, transfer_seconds=19.2),
+    DeviceProfile(device=2, switch_seconds=5.0, transfer_seconds=4.8),
+)
+
+
+@register
+def fleet_load_aware_baseline() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-load-aware-baseline",
+        description="Control arm for the load-aware pair: the mixed "
+        "fast/slow fleet on a hash-uniform ring with least-loaded routing. "
+        "Its golden pins the p99 latency and imbalance coefficient that "
+        "'fleet-load-aware' must strictly beat on the same traffic and seed.",
+        tenants=uniform_tenants(6, "tpch:q12", cache_capacity=8),
+        fleet=FleetSpec(
+            devices=3,
+            replication=2,
+            replica_policy="least-loaded",
+            profiles=_MIXED_SPEED_PROFILES,
+        ),
+        seed=42,
+    )
+
+
+@register
+def fleet_load_aware() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-load-aware",
+        description="Treatment arm: the same mixed fast/slow fleet and "
+        "traffic as 'fleet-load-aware-baseline', but the ring is weighted "
+        "by device speed factors (profile weighting) and replicas are "
+        "chosen by latency EWMA x queue depth; the slow device gets a "
+        "smaller arc share and less traffic, cutting p99 and imbalance.",
+        tenants=uniform_tenants(6, "tpch:q12", cache_capacity=8),
+        fleet=FleetSpec(
+            devices=3,
+            replication=2,
+            replica_policy="ewma-latency",
+            weighting="profile",
+            profiles=_MIXED_SPEED_PROFILES,
+        ),
+        seed=42,
+    )
+
+
+@register
+def fleet_adaptive_rebalance() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fleet-adaptive-rebalance",
+        description="Feedback-driven rebalancing: the mixed fast/slow fleet "
+        "starts on a hash-uniform ring; a periodic controller measures the "
+        "busy-time imbalance, and past the threshold emits a reweight epoch "
+        "whose migration plan shifts arc share toward the observed-faster "
+        "devices through the throttled-migration machinery.",
+        tenants=uniform_tenants(6, "tpch:q12", repetitions=2, cache_capacity=8),
+        fleet=FleetSpec(
+            devices=3,
+            replication=2,
+            replica_policy="ewma-latency",
+            profiles=_MIXED_SPEED_PROFILES,
+            rebalance=RebalancePolicy(
+                interval_seconds=150.0,
+                imbalance_threshold=0.2,
+                min_weight_delta=0.05,
+            ),
         ),
         seed=42,
     )

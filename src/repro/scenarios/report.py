@@ -35,8 +35,12 @@ FLOAT_PRECISION = 9
 #: fields of the embedded fleet spec, the ``replication`` field of epoch
 #: records and the ``keys_trimmed`` / ``replicas_trimmed`` fields of
 #: migration plans; admission ``fairness_jain`` is now computed only over
-#: tenants that actually queued.
-SCHEMA_VERSION = 5
+#: tenants that actually queued.  Version 6 added the ``routing`` section
+#: (replica-choice split, per-device capacity weights / vnode counts /
+#: latency EWMAs, the fleet-wide request-latency distribution and the
+#: feedback rebalancer's tick log) and the ``weighting`` / ``ewma_alpha`` /
+#: ``rebalance`` fields of the embedded fleet spec.
+SCHEMA_VERSION = 6
 
 
 def canonical(value: Any) -> Any:
@@ -126,6 +130,10 @@ class ScenarioReport:
     #: re-replication I/O, throttle behaviour); ``None`` for single-device
     #: scenarios.
     replication: Optional[Dict[str, Any]] = None
+    #: Adaptive-routing metrics (replica-choice split, per-device weights
+    #: and latency EWMAs, request-latency percentiles, rebalancer tick log);
+    #: ``None`` for single-device scenarios.
+    routing: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Canonical nested-dict form (deterministic for a given run)."""
@@ -155,6 +163,7 @@ class ScenarioReport:
                 "admission": self.admission,
                 "rebalance": self.rebalance,
                 "replication": self.replication,
+                "routing": self.routing,
                 "invariants_checked": sorted(self.invariants_checked),
             }
         )

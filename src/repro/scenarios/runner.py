@@ -236,12 +236,14 @@ class ScenarioRunner:
                 result.total_simulated_time
             )
             replication_metrics = service.fleet.replication_metrics()
+            routing_metrics = service.fleet.routing_metrics()
         else:
             scheduler_switches = service.scheduler.num_switches
             max_waiting = service.scheduler.max_waiting_seen
             fleet_metrics = None
             rebalance_metrics = None
             replication_metrics = None
+            routing_metrics = None
         admission_metrics = (
             service.admission.summary() if service.admission is not None else None
         )
@@ -270,6 +272,7 @@ class ScenarioRunner:
             admission=admission_metrics,
             rebalance=rebalance_metrics,
             replication=replication_metrics,
+            routing=routing_metrics,
         )
 
     @staticmethod

@@ -22,6 +22,7 @@ _MACRO_NAMES = {
     "macro-throttled-rebalance",
     "macro-million-keys",
     "macro-sf-1000",
+    "macro-heterogeneous-fleet",
 }
 
 
@@ -50,6 +51,21 @@ class TestMacroSpecs:
         # Devices model shipping firmware: slack-FCFS with a tight slack.
         assert spec.scheduler == "slack-fcfs"
         assert spec.scheduler_param == 4.0
+
+    def test_heterogeneous_fleet_macro_shape(self):
+        by_name = {s.name: s for s in macro_specs(smoke=False)}
+        spec = by_name["macro-heterogeneous-fleet"]
+        assert spec.fleet.replica_policy == "ewma-latency"
+        assert spec.fleet.weighting == "profile"
+        assert spec.fleet.rebalance is not None
+        assert spec.fleet.heterogeneous
+        smoke = {s.name: s for s in macro_specs(smoke=True)}[
+            "macro-heterogeneous-fleet"
+        ]
+        # The smoke twin keeps every load-aware knob on, just smaller.
+        assert smoke.fleet.replica_policy == "ewma-latency"
+        assert smoke.fleet.weighting == "profile"
+        assert smoke.fleet.rebalance is not None
 
 
 class TestMeasurement:
@@ -162,18 +178,25 @@ class TestDocument:
     def test_committed_document_shows_the_core_speedup(self):
         from repro.bench import repo_root
 
+        # BENCH_9 is retained history: it pins the scale-up PR's speedup
+        # floors, measured back-to-back against its pre-PR core on the
+        # events/sec rate (the wall-time ratios are also recorded but
+        # depend on suite ordering).
         committed = json.loads((repo_root() / "BENCH_9.json").read_text())
+        assert committed["mode"] == "full"
+        ratios = committed["baseline"]["speedup_events_per_second"]
+        assert ratios["macro-million-keys"] >= 3.0
+        assert ratios["macro-sf-1000"] >= 1.5
+
+    def test_committed_bench_10_covers_the_current_suite(self):
+        from repro.bench import DEFAULT_OUTPUT_NAME, repo_root
+
+        committed = json.loads((repo_root() / DEFAULT_OUTPUT_NAME).read_text())
+        assert committed["benchmark"] == "BENCH_10"
         assert committed["mode"] == "full"
         assert set(committed["scenarios"]) == _MACRO_NAMES
         # Full documents embed the smoke outcomes CI diffs against.
         assert set(committed["smoke_determinism"]) == _MACRO_NAMES
-        ratios = committed["baseline"]["speedup_events_per_second"]
-        # The floors this PR's scale-up work claims, measured back-to-back
-        # against the pre-PR core on the events/sec rate (the wall-time
-        # ratios are also recorded but depend on suite ordering: the
-        # SF-1000 scenario runs right after the million-key heap).
-        assert ratios["macro-million-keys"] >= 3.0
-        assert ratios["macro-sf-1000"] >= 1.5
 
 
 class TestCli:

@@ -29,6 +29,9 @@ FAST_FLEET_SCENARIOS = [
     "fleet-elastic-drain",
     "fleet-heterogeneous",
     "fleet-rebalance-under-load",
+    "fleet-load-aware-baseline",
+    "fleet-load-aware",
+    "fleet-adaptive-rebalance",
 ]
 
 SLOW_FLEET_SCENARIOS = [
@@ -46,7 +49,12 @@ LOSS_PARAMS = [
     pytest.param("fleet-loss-at-scale", marks=pytest.mark.slow),
 ]
 
-ELASTIC_SCENARIOS = ["fleet-elastic-join", "fleet-elastic-drain", "fleet-rebalance-under-load"]
+ELASTIC_SCENARIOS = [
+    "fleet-elastic-join",
+    "fleet-elastic-drain",
+    "fleet-rebalance-under-load",
+    "fleet-adaptive-rebalance",
+]
 
 _RUNNER = ScenarioRunner()
 _REPORTS: Dict[str, ScenarioReport] = {}
